@@ -1,0 +1,357 @@
+(* SuperFlow command-line interface.
+
+   Subcommands mirror the flow stages:
+     superflow synth   <input>          — logic synthesis report
+     superflow place   <input> [--placer ...]
+     superflow route   <input>
+     superflow flow    <input> [-o out.gds]  — full RTL-to-GDS
+     superflow tables                    — regenerate the paper tables
+     superflow bench-list                — list built-in benchmarks
+
+   <input> is either the name of a built-in benchmark (adder8, apc32,
+   apc128, decoder, sorter32, c432, c499, c1355, c1908), a Verilog
+   file (.v) or an ISCAS bench file (.bench). *)
+
+let load_input input =
+  match Circuits.benchmark input with
+  | nl -> Ok nl
+  | exception Not_found ->
+  if Filename.check_suffix input ".v" then
+    match Verilog.parse_file input with
+    | Ok nl -> Ok nl
+    | Error e -> Error (Printf.sprintf "%s: %s" input e)
+  else if Filename.check_suffix input ".bench" then
+    match Bench_parser.parse_file input with
+    | Ok nl -> Ok nl
+    | Error e -> Error (Printf.sprintf "%s: %s" input e)
+  else
+    Error
+      (Printf.sprintf
+         "unknown input %S (expected a benchmark name, a .v file or a .bench file)"
+         input)
+
+let placer_of_string = function
+  | "superflow" -> Ok Placer.Superflow
+  | "gordian" -> Ok Placer.Gordian
+  | "taas" -> Ok Placer.Taas
+  | s -> Error (Printf.sprintf "unknown placer %S (superflow|gordian|taas)" s)
+
+let exit_err msg =
+  Format.eprintf "error: %s@." msg;
+  exit 1
+
+(* ---- synth ---- *)
+
+let cmd_synth input =
+  match load_input input with
+  | Error e -> exit_err e
+  | Ok aoi ->
+      let aqfp, report = Synth_flow.run aoi in
+      Format.printf "input: %a@." Netlist.pp_stats aoi;
+      Format.printf "aqfp:  %a@." Netlist.pp_stats aqfp;
+      Format.printf "%a@." Synth_flow.pp_report report;
+      Format.printf "energy: %a@." Energy.pp (Energy.of_netlist Tech.default aqfp);
+      Format.printf "structure: %a@." Netlist_stats.pp (Netlist_stats.analyze aqfp);
+      Format.printf "balanced: %b, equivalence (sampled): %b@."
+        (Netlist.is_balanced aqfp)
+        (Sim.equivalent aoi aqfp)
+
+(* ---- place ---- *)
+
+let cmd_place input placer_name =
+  match (load_input input, placer_of_string placer_name) with
+  | Error e, _ | _, Error e -> exit_err e
+  | Ok aoi, Ok algorithm ->
+      let aqfp = Synth_flow.run_quiet aoi in
+      let p = Problem.of_netlist Tech.default aqfp in
+      let r = Placer.place algorithm p in
+      let sta = Sta.analyze p in
+      Format.printf "%a@." Placer.pp_result r;
+      Format.printf "%a@." Sta.pp_report sta;
+      Format.printf "%a@." Problem.pp_summary p
+
+(* ---- route ---- *)
+
+let router_of_string = function
+  | "sequential" -> Ok Router.Sequential
+  | "negotiated" -> Ok Router.Negotiated
+  | s -> Error (Printf.sprintf "unknown router %S (sequential|negotiated)" s)
+
+let cmd_route input placer_name router_name =
+  match (load_input input, placer_of_string placer_name, router_of_string router_name) with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
+  | Ok aoi, Ok algorithm, Ok router_alg ->
+      let aqfp = Synth_flow.run_quiet aoi in
+      let p = Problem.of_netlist Tech.default aqfp in
+      ignore (Placer.place algorithm p);
+      let routed = Router.route_all ~algorithm:router_alg p in
+      Format.printf
+        "routed %d nets: wirelength=%.0fum vias=%d space-expansions=%d (%.1fs)@."
+        (Array.length routed.Router.routes)
+        routed.Router.wirelength routed.Router.total_vias
+        routed.Router.expansions routed.Router.runtime_s;
+      (match Router.check_routes p routed with
+      | Ok () -> Format.printf "route check: clean@."
+      | Error e -> Format.printf "route check: %s@." e)
+
+(* ---- flow ---- *)
+
+let load_tech = function
+  | None -> Ok Tech.default
+  | Some path -> Tech.of_file path
+
+let cmd_flow input placer_name gds_out def_out svg_out tech_file =
+  match (load_input input, placer_of_string placer_name, load_tech tech_file) with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
+  | Ok aoi, Ok algorithm, Ok tech ->
+      let r = Flow.run ~tech ~algorithm ?gds_path:gds_out ?def_path:def_out aoi in
+      (match svg_out with
+      | Some path ->
+          Svg.write_file path r.Flow.layout;
+          Format.printf "SVG written to %s@." path
+      | None -> ());
+      Format.printf "%a@." Flow.pp_summary r;
+      (match gds_out with
+      | Some path -> Format.printf "GDSII written to %s@." path
+      | None -> ());
+      (match def_out with
+      | Some path -> Format.printf "DEF written to %s@." path
+      | None -> ())
+
+(* ---- timing ---- *)
+
+let cmd_timing input placer_name =
+  match (load_input input, placer_of_string placer_name) with
+  | Error e, _ | _, Error e -> exit_err e
+  | Ok aoi, Ok algorithm ->
+      let aqfp = Synth_flow.run_quiet aoi in
+      let p = Problem.of_netlist Tech.default aqfp in
+      ignore (Placer.place algorithm p);
+      let sta = Sta.analyze p in
+      Format.printf "%a@." Sta.pp_report sta;
+      Format.printf "max frequency for this placement: %.2f GHz@.@." (Sta.fmax_ghz p);
+      Format.printf "slack histogram (ps):@.%a@." Sta.pp_histogram
+        (Sta.slack_histogram p);
+      let per_row = Sta.per_row_wns p in
+      Format.printf "most critical clock phases:@.";
+      Array.to_list per_row
+      |> List.mapi (fun r wns -> (r, wns))
+      |> List.filter (fun (_, w) -> w < infinity)
+      |> List.sort (fun (_, a) (_, b) -> compare a b)
+      |> List.filteri (fun i _ -> i < 5)
+      |> List.iter (fun (r, wns) -> Format.printf "  phase %d: wns %.1f ps@." r wns)
+
+(* ---- sim ---- *)
+
+let cmd_sim input n_vectors vcd_out =
+  match load_input input with
+  | Error e -> exit_err e
+  | Ok aoi ->
+      let rng = Rng.create 42 in
+      let n_in = List.length (Netlist.inputs aoi) in
+      let vectors =
+        List.init n_vectors (fun _ -> Array.init n_in (fun _ -> Rng.bool rng))
+      in
+      List.iteri
+        (fun t v ->
+          let outs = Sim.eval aoi v in
+          let show bits =
+            String.concat ""
+              (List.map (fun b -> if b then "1" else "0") (Array.to_list bits))
+          in
+          Format.printf "#%d  in=%s  out=%s@." t (show v) (show outs))
+        vectors;
+      (match vcd_out with
+      | Some path ->
+          Vcd.write_file path aoi vectors;
+          Format.printf "VCD written to %s@." path
+      | None -> ())
+
+(* ---- verify ---- *)
+
+let cmd_verify input_a input_b =
+  match (load_input input_a, load_input input_b) with
+  | Error e, _ | _, Error e -> exit_err e
+  | Ok nl_a, Ok nl_b -> (
+      match Bdd.check_equivalence nl_a nl_b with
+      | Bdd.Equivalent ->
+          Format.printf "EQUIVALENT (formally proven, BDD)@."
+      | Bdd.Different cex ->
+          Format.printf "DIFFERENT — counterexample inputs: %s@."
+            (String.concat ""
+               (List.map (fun b -> if b then "1" else "0") (Array.to_list cex)));
+          exit 1
+      | Bdd.Too_large ->
+          let same = Sim.equivalent nl_a nl_b in
+          Format.printf "%s (BDD too large; simulation%s)@."
+            (if same then "equivalent" else "DIFFERENT")
+            (if List.length (Netlist.inputs nl_a) <= 14 then ", exhaustive"
+             else ", sampled");
+          if not same then exit 1)
+
+(* ---- atpg ---- *)
+
+let cmd_atpg input out_file =
+  match load_input input with
+  | Error e -> exit_err e
+  | Ok aoi ->
+      let aqfp = Synth_flow.run_quiet aoi in
+      let t = Fault.generate ~seed:1 aqfp in
+      Format.printf "%d vectors, %.2f%% stuck-at coverage, %d undetected fault(s)@."
+        (List.length t.Fault.vectors)
+        (100.0 *. t.Fault.achieved)
+        (List.length t.Fault.undetected);
+      (match out_file with
+      | Some path ->
+          let oc = open_out path in
+          List.iter
+            (fun v ->
+              Array.iter (fun b -> output_char oc (if b then '1' else '0')) v;
+              output_char oc '\n')
+            t.Fault.vectors;
+          close_out oc;
+          Format.printf "vectors written to %s@." path
+      | None -> ())
+
+(* ---- report ---- *)
+
+let cmd_report input placer_name html_out =
+  match (load_input input, placer_of_string placer_name) with
+  | Error e, _ | _, Error e -> exit_err e
+  | Ok aoi, Ok algorithm ->
+      let r = Flow.run ~algorithm aoi in
+      let rep = Chip_report.of_flow r in
+      Chip_report.print rep;
+      (match html_out with
+      | Some path ->
+          let svg = Svg.render r.Flow.layout in
+          let oc = open_out path in
+          output_string oc (Chip_report.to_html ~svg ~title:("SuperFlow: " ^ input) rep);
+          close_out oc;
+          Format.printf "HTML report written to %s@." path
+      | None -> ())
+
+(* ---- tables ---- *)
+
+let cmd_tables circuits =
+  let names = if circuits = [] then Circuits.benchmark_names else circuits in
+  Report.print_table1 ();
+  Report.print_table2 names;
+  Report.print_table3 names;
+  Report.print_table4 names
+
+let cmd_bench_list () =
+  List.iter
+    (fun name ->
+      let nl = Circuits.benchmark name in
+      Format.printf "%-10s %a@." name Netlist.pp_stats nl)
+    Circuits.benchmark_names
+
+(* ---- cmdliner plumbing ---- *)
+
+open Cmdliner
+
+let input_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT"
+         ~doc:"Benchmark name, Verilog (.v) or ISCAS (.bench) file.")
+
+let placer_arg =
+  Arg.(value & opt string "superflow" & info [ "placer"; "p" ] ~docv:"PLACER"
+         ~doc:"Placement algorithm: superflow, gordian or taas.")
+
+let gds_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the final layout as GDSII to $(docv).")
+
+let circuits_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT"
+         ~doc:"Circuits to include (default: all nine benchmarks).")
+
+let synth_cmd =
+  Cmd.v (Cmd.info "synth" ~doc:"Run majority-based logic synthesis")
+    Term.(const cmd_synth $ input_arg)
+
+let place_cmd =
+  Cmd.v (Cmd.info "place" ~doc:"Synthesize and place")
+    Term.(const cmd_place $ input_arg $ placer_arg)
+
+let router_arg =
+  Arg.(value & opt string "sequential" & info [ "router" ] ~docv:"ROUTER"
+         ~doc:"Routing algorithm: sequential or negotiated.")
+
+let route_cmd =
+  Cmd.v (Cmd.info "route" ~doc:"Synthesize, place and route")
+    Term.(const cmd_route $ input_arg $ placer_arg $ router_arg)
+
+let def_arg =
+  Arg.(value & opt (some string) None & info [ "def" ] ~docv:"FILE"
+         ~doc:"Also write a DEF-style placement/routing dump to $(docv).")
+
+let svg_arg =
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
+         ~doc:"Also render the layout as SVG to $(docv).")
+
+let tech_arg =
+  Arg.(value & opt (some string) None & info [ "tech" ] ~docv:"FILE"
+         ~doc:"Technology description (key = value lines; see Tech.of_string).")
+
+let flow_cmd =
+  Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
+    Term.(const cmd_flow $ input_arg $ placer_arg $ gds_arg $ def_arg $ svg_arg
+          $ tech_arg)
+
+let timing_cmd =
+  Cmd.v (Cmd.info "timing" ~doc:"Static timing analysis of a placed design")
+    Term.(const cmd_timing $ input_arg $ placer_arg)
+
+let input_b_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"INPUT2"
+         ~doc:"Second design to compare.")
+
+let sim_n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of random vectors.")
+
+let vcd_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "vcd" ] ~docv:"FILE"
+         ~doc:"Write the waveform as VCD to $(docv).")
+
+let sim_cmd =
+  Cmd.v (Cmd.info "sim" ~doc:"Simulate random vectors (optionally dumping VCD)")
+    Term.(const cmd_sim $ input_arg $ sim_n_arg $ vcd_arg)
+
+let verify_cmd =
+  Cmd.v (Cmd.info "verify" ~doc:"Formally check two designs for equivalence")
+    Term.(const cmd_verify $ input_arg $ input_b_arg)
+
+let atpg_out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the generated test vectors (one per line) to $(docv).")
+
+let atpg_cmd =
+  Cmd.v (Cmd.info "atpg" ~doc:"Generate stuck-at manufacturing test vectors")
+    Term.(const cmd_atpg $ input_arg $ atpg_out_arg)
+
+let html_arg =
+  Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE"
+         ~doc:"Also write a self-contained HTML report (with the layout) to $(docv).")
+
+let report_cmd =
+  Cmd.v (Cmd.info "report" ~doc:"Full design signoff report (area/wiring/timing/energy)")
+    Term.(const cmd_report $ input_arg $ placer_arg $ html_arg)
+
+let tables_cmd =
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's result tables")
+    Term.(const cmd_tables $ circuits_arg)
+
+let bench_list_cmd =
+  Cmd.v (Cmd.info "bench-list" ~doc:"List built-in benchmark circuits")
+    Term.(const cmd_bench_list $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "superflow" ~version:Flow.version
+       ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
+    [ synth_cmd; place_cmd; route_cmd; flow_cmd; timing_cmd; report_cmd; sim_cmd;
+      verify_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
+
+let () = exit (Cmd.eval main)

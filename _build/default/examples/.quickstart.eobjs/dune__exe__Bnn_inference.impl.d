@@ -1,0 +1,1 @@
+examples/bnn_inference.ml: Array Circuits Energy Flow Format Rng Sim Synth_flow Sys Tech

@@ -1,0 +1,1 @@
+examples/bnn_inference.mli:

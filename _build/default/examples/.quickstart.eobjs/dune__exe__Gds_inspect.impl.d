@@ -1,0 +1,1 @@
+examples/gds_inspect.ml: Array Circuits Float Flow Format Gds Hashtbl Layout List Option Svg Sys Table

@@ -1,0 +1,1 @@
+examples/gds_inspect.mli:

@@ -1,0 +1,1 @@
+examples/hierarchical_alu.ml: Array Flow Format List Sim Sta

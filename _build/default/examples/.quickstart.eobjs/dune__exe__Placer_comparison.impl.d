@@ -1,0 +1,1 @@
+examples/placer_comparison.ml: Array Circuits Format List Placer Printf Problem Sta String Svg Synth_flow Sys Table Tech

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Flow Format Layout Sim

@@ -1,0 +1,1 @@
+examples/signoff.ml: Array Bdd Circuits Energy Fault Flow Format List Netlist Problem Sim Sta String Sys

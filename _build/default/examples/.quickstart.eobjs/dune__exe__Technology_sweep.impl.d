@@ -1,0 +1,1 @@
+examples/technology_sweep.ml: Circuits Format List Netlist Placer Problem Sta Synth_flow Table Tech

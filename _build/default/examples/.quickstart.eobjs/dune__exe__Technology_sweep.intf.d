@@ -1,0 +1,1 @@
+examples/technology_sweep.mli:

@@ -1,0 +1,48 @@
+(* The paper closes by positioning SuperFlow as groundwork "for future
+   AQFP applications like RISC-V CPUs and neural network accelerators"
+   (citing SuperBNN, a binarized-neural-network AQFP accelerator).
+   This example builds one binarized neuron, pushes it through the
+   whole flow, and runs inference on the synthesized chip — then
+   reports what the paper's motivation is ultimately about: the energy
+   per inference against a CMOS estimate.
+
+     dune exec examples/bnn_inference.exe [synapses]   (default 32) *)
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 32
+  in
+  Format.printf "Binarized neuron, %d synapses, through SuperFlow@." n;
+  Format.printf "------------------------------------------------@.";
+  let neuron = Circuits.bnn_neuron n in
+  let r = Flow.run ~gds_path:"bnn.gds" neuron in
+  Format.printf "%a@.@." Flow.pp_summary r;
+
+  (* inference on the placed-and-routed netlist *)
+  let chip = r.Flow.aqfp_netlist in
+  let rng = Rng.create 2024 in
+  let correct = ref 0 and fired = ref 0 and trials = 2000 in
+  for _ = 1 to trials do
+    let xs = Array.init n (fun _ -> Rng.bool rng) in
+    let ws = Array.init n (fun _ -> Rng.bool rng) in
+    let out = (Sim.eval chip (Array.append xs ws)).(0) in
+    if out then incr fired;
+    if out = Circuits.Reference.bnn_fire xs ws then incr correct
+  done;
+  Format.printf "inference on the chip netlist: %d/%d match the model (%.0f%% fired)@."
+    !correct trials
+    (100.0 *. float_of_int !fired /. float_of_int trials);
+
+  (* the SuperBNN-style pitch: energy per inference *)
+  let e = r.Flow.energy in
+  (* one inference = one wave through the pipeline = one clock cycle
+     of new input (the pipeline is fully streaming) *)
+  Format.printf "@.energy per inference: %.3g J (CMOS-equivalent logic: %.3g J, gain %.0fx)@."
+    e.Energy.energy_per_cycle_j e.Energy.cmos_energy_per_cycle_j
+    e.Energy.efficiency_gain;
+  Format.printf "throughput at %.1f GHz: %.2e inferences/s at %.3g W@."
+    Tech.default.Tech.clock_freq_ghz
+    (Tech.default.Tech.clock_freq_ghz *. 1e9)
+    e.Energy.power_w;
+  Format.printf "pipeline latency: %d clock phases@."
+    r.Flow.synth_report.Synth_flow.delay

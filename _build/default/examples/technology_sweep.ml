@@ -1,0 +1,57 @@
+(* Technology exploration: the paper motivates a fully-customized flow
+   with the need to "easily adjust the design objectives for AQFP and
+   incorporate timely updates to the AQFP cell library". This example
+   sweeps two process knobs on one circuit:
+
+     - the maximum single-connection wirelength W_max, which trades
+       buffer-line rows against signal integrity;
+     - the target clock frequency, which moves the WNS.
+
+     dune exec examples/technology_sweep.exe *)
+
+let circuit = "adder8"
+
+let () =
+  let aoi = Circuits.benchmark circuit in
+  let aqfp = Synth_flow.run_quiet aoi in
+  Format.printf "Technology sweep on %s (%d cells)@.@." circuit (Netlist.size aqfp);
+
+  (* --- W_max sweep: buffer lines vs wirelength budget --- *)
+  print_endline "W_max sweep (SuperFlow placement):";
+  let t = Table.create ~headers:[ "W_max (um)"; "buffer lines"; "HPWL (um)"; "max net (um)" ] in
+  List.iter
+    (fun w_max ->
+      let tech = { Tech.default with Tech.w_max } in
+      let p = Problem.of_netlist tech aqfp in
+      ignore (Placer.place Placer.Superflow p);
+      Table.add_row t
+        [
+          Table.fmt_float ~dec:0 w_max;
+          string_of_int (Problem.buffer_lines p);
+          Table.fmt_float ~dec:0 (Problem.hpwl p);
+          Table.fmt_float ~dec:0 (Problem.max_net_length p);
+        ])
+    [ 200.0; 300.0; 500.0; 1000.0 ];
+  Table.print t;
+  print_newline ();
+
+  (* --- clock sweep: how fast can this placement run? --- *)
+  print_endline "Clock-frequency sweep (same placement, re-timed):";
+  let t = Table.create ~headers:[ "clock (GHz)"; "window (ps)"; "WNS (ps)"; "violations" ] in
+  let p = Problem.of_netlist Tech.default aqfp in
+  ignore (Placer.place Placer.Superflow p);
+  List.iter
+    (fun ghz ->
+      (* re-analyze the same geometry under a different clock *)
+      let tech = { Tech.default with Tech.clock_freq_ghz = ghz } in
+      let p' = { p with Problem.tech = tech } in
+      let sta = Sta.analyze p' in
+      Table.add_row t
+        [
+          Table.fmt_float ghz;
+          Table.fmt_float (Tech.phase_window_ps tech);
+          (if Sta.meets_timing sta then "met" else Table.fmt_float sta.Sta.wns_ps);
+          string_of_int sta.Sta.violations;
+        ])
+    [ 1.0; 2.0; 3.0; 5.0; 8.0 ];
+  Table.print t

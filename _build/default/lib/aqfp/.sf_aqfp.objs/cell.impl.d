@@ -1,0 +1,1 @@
+lib/aqfp/cell.ml: Array Format List Netlist

@@ -1,0 +1,1 @@
+lib/aqfp/cell.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/aqfp/clocking.ml: Float Tech

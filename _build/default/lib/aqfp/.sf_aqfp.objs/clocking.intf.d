@@ -1,0 +1,1 @@
+lib/aqfp/clocking.mli: Tech

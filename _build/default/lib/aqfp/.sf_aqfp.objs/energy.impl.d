@@ -1,0 +1,1 @@
+lib/aqfp/energy.ml: Cell Format Netlist Tech

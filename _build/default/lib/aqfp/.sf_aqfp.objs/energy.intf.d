@@ -1,0 +1,1 @@
+lib/aqfp/energy.mli: Format Netlist Tech

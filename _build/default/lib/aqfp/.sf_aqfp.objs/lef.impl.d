@@ -1,0 +1,1 @@
+lib/aqfp/lef.ml: Array Buffer Cell Float List Printf String

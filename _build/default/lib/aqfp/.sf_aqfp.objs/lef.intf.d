@@ -1,0 +1,1 @@
+lib/aqfp/lef.mli: Cell Stdlib

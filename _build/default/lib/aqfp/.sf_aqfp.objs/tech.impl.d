@@ -1,0 +1,1 @@
+lib/aqfp/tech.ml: Float Format List Printf String

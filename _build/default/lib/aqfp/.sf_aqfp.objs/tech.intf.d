@@ -1,0 +1,1 @@
+lib/aqfp/tech.mli: Format

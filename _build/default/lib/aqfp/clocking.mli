@@ -1,0 +1,32 @@
+(** Four-phase AQFP clocking model (paper §II-B, Fig. 2).
+
+    One DC and two AC bias lines, 90° apart, create four clock phases
+    per cycle. Each logic gate occupies one phase; phase [p] cells live
+    in row [p]. The clock is distributed as a serpentine (zigzag): it
+    enters row 0 on the left, traverses it rightwards, drops to row 1
+    and traverses leftwards, and so on. Consequently the clock arrival
+    time at a cell depends on its x position and its row's traversal
+    direction — this is the origin of the four cases of the paper's
+    Eq. (2) timing cost. *)
+
+type direction = Rightward | Leftward
+
+val direction : int -> direction
+(** Traversal direction of a phase row: even rows are [Rightward]. *)
+
+val clock_arrival_ps : Tech.t -> row_width:float -> phase:int -> x:float -> float
+(** Clock arrival time at horizontal position [x] of a row, relative
+    to the start of that row's phase window: [x / v_clk] for rightward
+    rows, [(row_width - x) / v_clk] for leftward rows. *)
+
+val timing_cost : Tech.t -> row_width:float -> phase:int -> x_start:float ->
+  x_end:float -> alpha:float -> float
+(** The paper's Eq. (2): the four-phase timing cost of a connection
+    leaving a cell at [x_start] in row [phase] and entering its sink at
+    [x_end] in row [phase + 1], with exponent [alpha]. The base inside
+    the power is clamped at 0 (a connection that "flows with" the clock
+    has no timing pressure). The [phase mod 4] case split matches the
+    relative clock directions of the two rows. *)
+
+val phase_of_row : int -> int
+(** [row mod 4] — the AC phase index (0..3) powering a row. *)

@@ -1,0 +1,38 @@
+(** AQFP energy model.
+
+    The paper's opening claim is that AQFP achieves a 10^4–10^5
+    energy-efficiency gain over CMOS thanks to adiabatic switching
+    (§I, citing Takeuchi et al.). This module quantifies that for a
+    synthesized design: every AQFP cell is AC-clocked, so every JJ
+    switches once per cycle (activity factor 1), dissipating a few
+    zeptojoule at adiabatic ramp rates.
+
+    Defaults follow the literature the paper cites: ~1.4 zJ per JJ per
+    switching event at a 5 GHz excitation, against ~1 fJ for a
+    minimum-size CMOS gate switching event in a comparable node. The
+    knobs are explicit so cell-library updates can re-cost designs. *)
+
+type params = {
+  joules_per_jj_switch : float;  (** default 1.4e-21 J (adiabatic) *)
+  cmos_joules_per_gate : float;  (** default 1e-15 J *)
+  static_fraction : float;  (** extra AC-bias loss as a fraction of
+      switching energy (default 0.1) *)
+}
+
+val default_params : params
+
+type report = {
+  jj_count : int;
+  gate_count : int;  (** logic cells excluding output markers *)
+  energy_per_cycle_j : float;
+  power_w : float;  (** at the technology's clock frequency *)
+  cmos_energy_per_cycle_j : float;  (** same logic as CMOS gates *)
+  efficiency_gain : float;  (** CMOS energy / AQFP energy *)
+}
+
+val of_netlist : ?params:params -> Tech.t -> Netlist.t -> report
+(** Energy of a synthesized AQFP netlist (uses the cell library's JJ
+    counts; the netlist should be post-insertion so buffers and
+    splitters are costed). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,192 @@
+type direction = Input | Output
+
+type pin = { pin_name : string; dir : direction; px : float; py : float }
+
+type macro = {
+  macro_name : string;
+  size_w : float;
+  size_h : float;
+  jj : int;
+  pins : pin list;
+}
+
+let of_cell (c : Cell.t) =
+  let ins =
+    Array.to_list
+      (Array.mapi
+         (fun i px -> { pin_name = Printf.sprintf "in%d" i; dir = Input; px; py = 0.0 })
+         c.Cell.in_pins)
+  in
+  let outs =
+    Array.to_list
+      (Array.mapi
+         (fun i px ->
+           { pin_name = Printf.sprintf "out%d" i; dir = Output; px; py = c.Cell.height })
+         c.Cell.out_pins)
+  in
+  {
+    macro_name = c.Cell.cell_name;
+    size_w = c.Cell.width;
+    size_h = c.Cell.height;
+    jj = c.Cell.jj_count;
+    pins = ins @ outs;
+  }
+
+let library_macros () = List.map (fun (_, c) -> of_cell c) Cell.library
+
+let to_string macros =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "VERSION 5.8 ;\n";
+  add "UNITS DATABASE MICRONS 1000 ; END UNITS\n\n";
+  List.iter
+    (fun m ->
+      add "MACRO %s\n" m.macro_name;
+      add "  CLASS CORE ;\n";
+      add "  SIZE %.3f BY %.3f ;\n" m.size_w m.size_h;
+      add "  PROPERTY jjCount %d ;\n" m.jj;
+      List.iter
+        (fun p ->
+          add "  PIN %s\n" p.pin_name;
+          add "    DIRECTION %s ;\n" (match p.dir with Input -> "INPUT" | Output -> "OUTPUT");
+          add "    ORIGIN %.3f %.3f ;\n" p.px p.py;
+          add "  END %s\n" p.pin_name)
+        m.pins;
+      add "END %s\n\n" m.macro_name)
+    macros;
+  add "END LIBRARY\n";
+  Buffer.contents buf
+
+let library_lef () = to_string (library_macros ())
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let of_string source =
+  try
+    let toks =
+      ref
+        (String.split_on_char '\n' source
+        |> List.concat_map (fun line ->
+               String.split_on_char ' ' line |> List.filter (fun t -> t <> "")))
+    in
+    let peek () = match !toks with [] -> "" | t :: _ -> t in
+    let next () =
+      match !toks with
+      | [] -> fail "unexpected end of file"
+      | t :: rest ->
+          toks := rest;
+          t
+    in
+    let expect t =
+      let got = next () in
+      if got <> t then fail "expected %S, got %S" t got
+    in
+    let float_tok () =
+      let t = next () in
+      match float_of_string_opt t with
+      | Some v -> v
+      | None -> fail "expected number, got %S" t
+    in
+    let int_tok () =
+      let t = next () in
+      match int_of_string_opt t with
+      | Some v -> v
+      | None -> fail "expected integer, got %S" t
+    in
+    expect "VERSION";
+    let _ = next () in
+    expect ";";
+    expect "UNITS";
+    expect "DATABASE";
+    expect "MICRONS";
+    let _ = int_tok () in
+    expect ";";
+    expect "END";
+    expect "UNITS";
+    let macros = ref [] in
+    let rec macro_loop () =
+      match peek () with
+      | "MACRO" ->
+          expect "MACRO";
+          let macro_name = next () in
+          let size_w = ref 0.0 and size_h = ref 0.0 and jj = ref 0 in
+          let pins = ref [] in
+          let rec body () =
+            match next () with
+            | "CLASS" ->
+                let _ = next () in
+                expect ";";
+                body ()
+            | "SIZE" ->
+                size_w := float_tok ();
+                expect "BY";
+                size_h := float_tok ();
+                expect ";";
+                body ()
+            | "PROPERTY" ->
+                expect "jjCount";
+                jj := int_tok ();
+                expect ";";
+                body ()
+            | "PIN" ->
+                let pin_name = next () in
+                expect "DIRECTION";
+                let dir =
+                  match next () with
+                  | "INPUT" -> Input
+                  | "OUTPUT" -> Output
+                  | d -> fail "bad direction %S" d
+                in
+                expect ";";
+                expect "ORIGIN";
+                let px = float_tok () in
+                let py = float_tok () in
+                expect ";";
+                expect "END";
+                expect pin_name;
+                pins := { pin_name; dir; px; py } :: !pins;
+                body ()
+            | "END" ->
+                expect macro_name
+            | t -> fail "unexpected token %S in macro %s" t macro_name
+          in
+          body ();
+          macros :=
+            { macro_name; size_w = !size_w; size_h = !size_h; jj = !jj;
+              pins = List.rev !pins }
+            :: !macros;
+          macro_loop ()
+      | "END" ->
+          expect "END";
+          expect "LIBRARY"
+      | t -> fail "expected MACRO or END LIBRARY, got %S" t
+    in
+    macro_loop ();
+    Ok (List.rev !macros)
+  with Bad msg -> Error msg
+
+let check_against_cell m (c : Cell.t) =
+  let problems = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if m.macro_name <> c.Cell.cell_name then
+    push "name %s vs %s" m.macro_name c.Cell.cell_name;
+  if Float.abs (m.size_w -. c.Cell.width) > 1e-6 then push "width mismatch";
+  if Float.abs (m.size_h -. c.Cell.height) > 1e-6 then push "height mismatch";
+  if m.jj <> c.Cell.jj_count then push "jj mismatch";
+  let ins = List.filter (fun p -> p.dir = Input) m.pins in
+  let outs = List.filter (fun p -> p.dir = Output) m.pins in
+  if List.length ins <> Array.length c.Cell.in_pins then push "input pin count";
+  if List.length outs <> Array.length c.Cell.out_pins then push "output pin count";
+  List.iteri
+    (fun i p ->
+      if i < Array.length c.Cell.in_pins && Float.abs (p.px -. c.Cell.in_pins.(i)) > 1e-6
+      then push "input pin %d offset" i)
+    ins;
+  List.iteri
+    (fun i p ->
+      if i < Array.length c.Cell.out_pins && Float.abs (p.px -. c.Cell.out_pins.(i)) > 1e-6
+      then push "output pin %d offset" i)
+    outs;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

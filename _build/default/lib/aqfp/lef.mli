@@ -1,0 +1,41 @@
+(** LEF-style description of the AQFP standard-cell library.
+
+    The paper stresses that the AQFP cell library "is under active
+    development" and that a custom flow must "incorporate timely
+    updates" to it. This module makes the library an artifact rather
+    than code: it renders every cell as a LEF-like MACRO (SIZE +
+    directed PINs at their offsets) and parses the same subset back,
+    so an updated library can be dropped in as text and diffed.
+
+    Pin geometry convention matches {!Cell}: the cell origin is its
+    lower-left corner, input pins sit at y = 0 (the edge facing the
+    previous clock phase) and output pins at y = height. *)
+
+type direction = Input | Output
+
+type pin = { pin_name : string; dir : direction; px : float; py : float }
+
+type macro = {
+  macro_name : string;
+  size_w : float;
+  size_h : float;
+  jj : int;  (** carried as a PROPERTY — LEF extension *)
+  pins : pin list;
+}
+
+val of_cell : Cell.t -> macro
+(** Macro view of a library cell (pins named [in0..], [out0..]). *)
+
+val library_macros : unit -> macro list
+(** All distinct cells of {!Cell.library}. *)
+
+val to_string : macro list -> string
+
+val of_string : string -> (macro list, string) Stdlib.result
+
+val library_lef : unit -> string
+(** [to_string (library_macros ())]. *)
+
+val check_against_cell : macro -> Cell.t -> (unit, string) Stdlib.result
+(** Verify a parsed macro matches a library cell (size, pin count,
+    positions) — the "timely update" sanity check. *)

@@ -1,0 +1,1 @@
+lib/circuits/circuits.ml: Array Fun Hashtbl List Netlist Option Printf Rng

@@ -1,0 +1,1 @@
+lib/circuits/datapath.mli: Netlist

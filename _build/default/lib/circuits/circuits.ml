@@ -1,0 +1,357 @@
+let add2 nl k a b = Netlist.add nl k [| a; b |]
+
+let kogge_stone_adder w =
+  if w < 1 then invalid_arg "kogge_stone_adder: width must be >= 1";
+  let nl = Netlist.create () in
+  let a = Array.init w (fun i -> Netlist.add nl ~name:(Printf.sprintf "a%d" i) Netlist.Input [||]) in
+  let b = Array.init w (fun i -> Netlist.add nl ~name:(Printf.sprintf "b%d" i) Netlist.Input [||]) in
+  let cin = Netlist.add nl ~name:"cin" Netlist.Input [||] in
+  let p = Array.init w (fun i -> add2 nl Netlist.Xor a.(i) b.(i)) in
+  let g = Array.init w (fun i -> add2 nl Netlist.And a.(i) b.(i)) in
+  (* Parallel-prefix (Kogge-Stone): after round d, position i holds the
+     group generate/propagate of bits [i-2d+1 .. i]. *)
+  let gg = Array.copy g and pp = Array.copy p in
+  let d = ref 1 in
+  while !d < w do
+    let gg' = Array.copy gg and pp' = Array.copy pp in
+    for i = !d to w - 1 do
+      let t = add2 nl Netlist.And pp.(i) gg.(i - !d) in
+      gg'.(i) <- add2 nl Netlist.Or gg.(i) t;
+      pp'.(i) <- add2 nl Netlist.And pp.(i) pp.(i - !d)
+    done;
+    Array.blit gg' 0 gg 0 w;
+    Array.blit pp' 0 pp 0 w;
+    d := 2 * !d
+  done;
+  (* carry into bit i: c0 = cin; c_{i} = G_{i-1} | (P_{i-1} & cin) *)
+  let carry = Array.make (w + 1) cin in
+  for i = 1 to w do
+    let t = add2 nl Netlist.And pp.(i - 1) cin in
+    carry.(i) <- add2 nl Netlist.Or gg.(i - 1) t
+  done;
+  for i = 0 to w - 1 do
+    let s = add2 nl Netlist.Xor p.(i) carry.(i) in
+    ignore (Netlist.add nl ~name:(Printf.sprintf "s%d" i) Netlist.Output [| s |])
+  done;
+  ignore (Netlist.add nl ~name:"cout" Netlist.Output [| carry.(w) |]);
+  nl
+
+(* Carry-save reduction of weighted bit columns to one bit per weight.
+   [columns.(w)] holds (bit, level) pairs of weight 2^w; compressing
+   the three earliest-arriving bits first (Dadda-style scheduling)
+   keeps the tree depth logarithmic. Carries that overflow the last
+   column are dropped by the caller's sizing. *)
+let reduce_columns ?(drop_carries_below = 0) nl columns =
+  let n_cols = Array.length columns in
+  let full_adder a b c =
+    let ab = add2 nl Netlist.Xor a b in
+    let s = add2 nl Netlist.Xor ab c in
+    let t1 = add2 nl Netlist.And a b in
+    let t2 = add2 nl Netlist.And ab c in
+    let carry = add2 nl Netlist.Or t1 t2 in
+    (s, carry)
+  in
+  let half_adder a b = (add2 nl Netlist.Xor a b, add2 nl Netlist.And a b) in
+  let by_level col = List.sort (fun (_, l1) (_, l2) -> compare l1 l2) col in
+  let rec compress w =
+    if w >= n_cols then ()
+    else
+      match by_level columns.(w) with
+      | (a, la) :: (b, lb) :: (c, lc) :: rest ->
+          let s, carry = full_adder a b c in
+          let lvl = 2 + max la (max lb lc) in
+          columns.(w) <- (s, lvl) :: rest;
+          if w + 1 < n_cols && w + 1 > drop_carries_below - 1 then
+            columns.(w + 1) <- (carry, lvl) :: columns.(w + 1);
+          compress w
+      | [ (a, la); (b, lb) ] ->
+          let s, carry = half_adder a b in
+          let lvl = 1 + max la lb in
+          columns.(w) <- [ (s, lvl) ];
+          if w + 1 < n_cols && w + 1 > drop_carries_below - 1 then
+            columns.(w + 1) <- (carry, lvl) :: columns.(w + 1);
+          compress (w + 1)
+      | _ -> compress (w + 1)
+  in
+  compress 0;
+  Array.map
+    (fun col -> match col with [ (bit, _) ] -> Some bit | [] -> None | _ -> assert false)
+    columns
+
+let parallel_counter ?(approx_below = 0) n =
+  if n < 2 then invalid_arg "parallel_counter: need >= 2 inputs";
+  let nl = Netlist.create () in
+  let inputs =
+    List.init n (fun i -> Netlist.add nl ~name:(Printf.sprintf "x%d" i) Netlist.Input [||])
+  in
+  let n_cols = 1 + int_of_float (ceil (log (float_of_int (n + 1)) /. log 2.0)) in
+  let columns = Array.make n_cols [] in
+  columns.(0) <- List.map (fun id -> (id, 0)) inputs;
+  Array.iteri
+    (fun w bit ->
+      match bit with
+      | Some b ->
+          ignore (Netlist.add nl ~name:(Printf.sprintf "cnt%d" w) Netlist.Output [| b |])
+      | None -> ())
+    (reduce_columns ~drop_carries_below:approx_below nl columns);
+  nl
+
+let array_multiplier w =
+  if w < 1 || w > 16 then invalid_arg "array_multiplier: width must be 1..16";
+  let nl = Netlist.create () in
+  let a = Array.init w (fun i -> Netlist.add nl ~name:(Printf.sprintf "a%d" i) Netlist.Input [||]) in
+  let b = Array.init w (fun i -> Netlist.add nl ~name:(Printf.sprintf "b%d" i) Netlist.Input [||]) in
+  (* partial products feed a carry-save reduction tree *)
+  let columns = Array.make (2 * w) [] in
+  for i = 0 to w - 1 do
+    for j = 0 to w - 1 do
+      let pp = add2 nl Netlist.And a.(i) b.(j) in
+      columns.(i + j) <- (pp, 0) :: columns.(i + j)
+    done
+  done;
+  Array.iteri
+    (fun k bit ->
+      match bit with
+      | Some bit ->
+          ignore (Netlist.add nl ~name:(Printf.sprintf "p%d" k) Netlist.Output [| bit |])
+      | None ->
+          (* weight never populated (can only be the top column of w=1) *)
+          let zero = Netlist.add nl (Netlist.Const false) [||] in
+          ignore (Netlist.add nl ~name:(Printf.sprintf "p%d" k) Netlist.Output [| zero |]))
+    (reduce_columns nl columns);
+  nl
+
+(* y = (unsigned value of [bits]) >= t, for a constant t: walk from the
+   MSB keeping an "equal so far" trail. *)
+let gte_const nl bits t =
+  let w = Array.length bits in
+  if t <= 0 then Netlist.add nl (Netlist.Const true) [||]
+  else if t >= 1 lsl w then Netlist.add nl (Netlist.Const false) [||]
+  else begin
+    (* ge = OR over positions i where t_i = 0 of (bit_i AND eq_above_i),
+       plus eq over all bits *)
+    let eq_trail = ref None in
+    (* from MSB downward *)
+    let ge = ref None in
+    for i = w - 1 downto 0 do
+      let t_i = (t lsr i) land 1 = 1 in
+      let above = !eq_trail in
+      if not t_i then begin
+        (* count bit 1 here beats t when everything above matched *)
+        let win =
+          match above with
+          | None -> bits.(i)
+          | Some eq -> add2 nl Netlist.And eq bits.(i)
+        in
+        ge := Some (match !ge with None -> win | Some g -> add2 nl Netlist.Or g win)
+      end;
+      (* extend the equality trail: bit must equal t_i *)
+      let here =
+        if t_i then bits.(i) else Netlist.add nl Netlist.Not [| bits.(i) |]
+      in
+      eq_trail :=
+        Some (match above with None -> here | Some eq -> add2 nl Netlist.And eq here)
+    done;
+    let eq_all = Option.get !eq_trail in
+    match !ge with
+    | None -> eq_all
+    | Some g -> add2 nl Netlist.Or g eq_all
+  end
+
+let bnn_neuron n =
+  if n < 2 then invalid_arg "bnn_neuron: need >= 2 synapses";
+  let nl = Netlist.create () in
+  let xs = Array.init n (fun i -> Netlist.add nl ~name:(Printf.sprintf "x%d" i) Netlist.Input [||]) in
+  let ws = Array.init n (fun i -> Netlist.add nl ~name:(Printf.sprintf "w%d" i) Netlist.Input [||]) in
+  (* binarized dot product: agreement bits, then popcount, then the
+     sign threshold (more than half agree) *)
+  let agree = Array.init n (fun i -> add2 nl Netlist.Xnor xs.(i) ws.(i)) in
+  let n_cols = 1 + int_of_float (ceil (log (float_of_int (n + 1)) /. log 2.0)) in
+  let columns = Array.make n_cols [] in
+  columns.(0) <- Array.to_list (Array.map (fun id -> (id, 0)) agree);
+  let count =
+    reduce_columns nl columns |> Array.to_list |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  let fire = gte_const nl count ((n / 2) + 1) in
+  ignore (Netlist.add nl ~name:"fire" Netlist.Output [| fire |]);
+  nl
+
+let decoder n =
+  if n < 1 || n > 10 then invalid_arg "decoder: select width must be 1..10";
+  let nl = Netlist.create () in
+  let sel =
+    Array.init n (fun i -> Netlist.add nl ~name:(Printf.sprintf "s%d" i) Netlist.Input [||])
+  in
+  let nsel = Array.map (fun s -> Netlist.add nl Netlist.Not [| s |]) sel in
+  let rec and_tree = function
+    | [] -> invalid_arg "and_tree: empty"
+    | [ x ] -> x
+    | lits ->
+        let rec take k = function
+          | rest when k = 0 -> ([], rest)
+          | [] -> ([], [])
+          | x :: rest ->
+              let l, r = take (k - 1) rest in
+              (x :: l, r)
+        in
+        let half = List.length lits / 2 in
+        let left, right = take half lits in
+        add2 nl Netlist.And (and_tree left) (and_tree right)
+  in
+  for code = 0 to (1 lsl n) - 1 do
+    let lits =
+      List.init n (fun k -> if (code lsr k) land 1 = 1 then sel.(k) else nsel.(k))
+    in
+    let y = and_tree lits in
+    ignore (Netlist.add nl ~name:(Printf.sprintf "y%d" code) Netlist.Output [| y |])
+  done;
+  nl
+
+let sorter n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "sorter: size must be a power of two >= 2";
+  let nl = Netlist.create () in
+  let wires =
+    Array.init n (fun i -> Netlist.add nl ~name:(Printf.sprintf "x%d" i) Netlist.Input [||])
+  in
+  (* Batcher odd-even merge sort, iterative form. A compare-exchange on
+     1-bit values sorting ones-first is (OR, AND). *)
+  let compare_exchange i j =
+    let hi = add2 nl Netlist.Or wires.(i) wires.(j) in
+    let lo = add2 nl Netlist.And wires.(i) wires.(j) in
+    wires.(i) <- hi;
+    wires.(j) <- lo
+  in
+  let p = ref 1 in
+  while !p < n do
+    let k = ref !p in
+    while !k >= 1 do
+      let j = ref (!k mod !p) in
+      while !j <= n - 1 - !k do
+        let upper = min (!k - 1) (n - !j - !k - 1) in
+        for i = 0 to upper do
+          if (i + !j) / (2 * !p) = (i + !j + !k) / (2 * !p) then
+            compare_exchange (i + !j) (i + !j + !k)
+        done;
+        j := !j + (2 * !k)
+      done;
+      k := !k / 2
+    done;
+    p := 2 * !p
+  done;
+  Array.iteri
+    (fun i w ->
+      ignore (Netlist.add nl ~name:(Printf.sprintf "o%d" i) Netlist.Output [| w |]))
+    wires;
+  nl
+
+let iscas_like ~seed ~pi ~po ~gates ~depth =
+  if pi < 2 || po < 1 || gates < po || depth < 1 then
+    invalid_arg "iscas_like: bad profile";
+  let rng = Rng.create seed in
+  let nl = Netlist.create () in
+  let inputs =
+    Array.init pi (fun i -> Netlist.add nl ~name:(Printf.sprintf "G%d" i) Netlist.Input [||])
+  in
+  (* Distribute gates over layers, at least one per layer; random 2-in
+     gates, fanins biased to the previous layer so realized depth
+     tracks the requested profile. *)
+  let per_layer = Array.make depth (gates / depth) in
+  for i = 0 to (gates mod depth) - 1 do
+    per_layer.(i) <- per_layer.(i) + 1
+  done;
+  (* weighted toward nand/nor-class gates like the real c-series; xor
+     is rare because it is disproportionately expensive in MAJ logic *)
+  let kinds =
+    [| Netlist.And; Netlist.And; Netlist.Or; Netlist.Or; Netlist.Nand;
+       Netlist.Nand; Netlist.Nand; Netlist.Nor; Netlist.Nor; Netlist.Xor |]
+  in
+  let prev_layer = ref (Array.to_list inputs) in
+  let all_nodes = ref (Array.to_list inputs) in
+  let last_layer = ref [] in
+  for layer = 0 to depth - 1 do
+    let prev = Array.of_list !prev_layer in
+    let all = Array.of_list !all_nodes in
+    let this_layer = ref [] in
+    for _ = 1 to per_layer.(layer) do
+      let pick_fanin () =
+        if Rng.float rng 1.0 < 0.7 || layer = 0 then Rng.pick rng prev
+        else Rng.pick rng all
+      in
+      let a = pick_fanin () in
+      let b = pick_fanin () in
+      let id =
+        if a = b then Netlist.add nl Netlist.Not [| a |]
+        else add2 nl (Rng.pick rng kinds) a b
+      in
+      this_layer := id :: !this_layer
+    done;
+    prev_layer := !this_layer;
+    all_nodes := !this_layer @ !all_nodes;
+    last_layer := !this_layer
+  done;
+  (* Primary outputs: prefer the final layers so depth is exercised. *)
+  let candidates = Array.of_list !all_nodes in
+  let chosen = Hashtbl.create po in
+  let final = Array.of_list !last_layer in
+  let n_final = min po (Array.length final) in
+  for i = 0 to n_final - 1 do
+    Hashtbl.replace chosen final.(i) ()
+  done;
+  while Hashtbl.length chosen < po do
+    Hashtbl.replace chosen (Rng.pick rng candidates) ()
+  done;
+  let outs = Hashtbl.fold (fun id () acc -> id :: acc) chosen [] in
+  List.iteri
+    (fun i id ->
+      ignore (Netlist.add nl ~name:(Printf.sprintf "PO%d" i) Netlist.Output [| id |]))
+    (List.sort compare outs);
+  nl
+
+let benchmark = function
+  | "adder8" -> kogge_stone_adder 8
+  | "apc32" -> parallel_counter 32
+  | "apc128" -> parallel_counter 128
+  | "decoder" -> decoder 7
+  | "sorter32" -> sorter 32
+  (* depth profiles are set so the post-synthesis clock-phase count
+     lands near the paper's Table II (majority/xor decomposition
+     multiplies AOI depth by roughly 3) *)
+  | "c432" -> iscas_like ~seed:432 ~pi:36 ~po:7 ~gates:160 ~depth:14
+  | "c499" -> iscas_like ~seed:499 ~pi:41 ~po:32 ~gates:202 ~depth:9
+  | "c1355" -> iscas_like ~seed:1355 ~pi:41 ~po:32 ~gates:546 ~depth:10
+  | "c1908" -> iscas_like ~seed:1908 ~pi:33 ~po:25 ~gates:880 ~depth:11
+  (* extras beyond the paper's table (handy workloads for the CLI) *)
+  | "mult4" -> array_multiplier 4
+  | "mult8" -> array_multiplier 8
+  | "bnn16" -> bnn_neuron 16
+  | "bnn64" -> bnn_neuron 64
+  | _ -> raise Not_found
+
+let benchmark_names =
+  [ "adder8"; "apc32"; "apc128"; "decoder"; "sorter32"; "c432"; "c499"; "c1355"; "c1908" ]
+
+module Reference = struct
+  let multiply w a b =
+    let mask = (1 lsl (2 * w)) - 1 in
+    a * b land mask
+
+  let add w a b cin =
+    let mask = (1 lsl w) - 1 in
+    let total = (a land mask) + (b land mask) + if cin then 1 else 0 in
+    (total land mask, total lsr w = 1)
+
+  let popcount n =
+    let rec loop acc n = if n = 0 then acc else loop (acc + (n land 1)) (n lsr 1) in
+    loop 0 n
+
+  let bnn_fire xs ws =
+    let agree = ref 0 in
+    Array.iteri (fun i x -> if x = ws.(i) then incr agree) xs;
+    2 * !agree > Array.length xs
+
+  let sorted_outputs bits =
+    let ones = List.length (List.filter Fun.id bits) in
+    List.init (List.length bits) (fun i -> i < ones)
+end

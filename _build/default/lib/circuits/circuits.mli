@@ -1,0 +1,89 @@
+(** Benchmark circuit generators (paper §IV "Benchmark Circuits").
+
+    The paper evaluates on classic AQFP benchmarks — an 8-bit
+    Kogge-Stone adder, 32/128-input approximate parallel counters, a
+    decoder, a 32-input sorter — plus four ISCAS'85 circuits. The
+    arithmetic benchmarks are generated structurally here; the ISCAS
+    circuits, whose netlists are external data, are substituted by
+    profile-matched synthetic DAGs (same PI/PO/gate-count/depth class;
+    see DESIGN.md §1). All generators emit AOI netlists (2-input
+    gates + inverters), i.e. what the Yosys stage of the paper would
+    produce. *)
+
+val kogge_stone_adder : int -> Netlist.t
+(** [kogge_stone_adder w] — w-bit Kogge-Stone parallel-prefix adder
+    with carry-in and carry-out: inputs [a0..a(w-1)], [b0..], [cin];
+    outputs [s0..s(w-1)], [cout]. *)
+
+val parallel_counter : ?approx_below:int -> int -> Netlist.t
+(** [parallel_counter n] — population counter over [n] inputs, built
+    as a tree of 3:2 compressors (full adders) followed by a ripple
+    combination; outputs the count in binary (LSB first). This is the
+    structure of the paper's "approximate parallel counter" apc32 /
+    apc128 benchmarks.
+
+    [approx_below] (default 0 = exact) makes the counter approximate
+    in the benchmark's namesake sense: carries destined for columns
+    below that weight are dropped, shrinking the compressor tree at
+    the cost of under-counting. Every dropped carry removes at most
+    [2^w] from the result, so the error is bounded by the number of
+    compressions in the truncated columns — checked by the tests. *)
+
+val array_multiplier : int -> Netlist.t
+(** [array_multiplier w] — w-by-w unsigned array multiplier: the
+    partial-product matrix reduced by the same Dadda-scheduled
+    carry-save tree as the counters; outputs the 2w product bits (LSB
+    first). Not a paper benchmark — included as a larger arithmetic
+    workload for the examples and stress tests. *)
+
+val bnn_neuron : int -> Netlist.t
+(** [bnn_neuron n] — one binarized-neural-network neuron with [n]
+    synapses (the workload class of the SuperBNN AQFP accelerator the
+    paper cites as its application outlook): inputs [x0..x(n-1)] then
+    weights [w0..], output [fire] = 1 iff more than half of the
+    xnor(x, w) agreement bits are set (sign of the ±1 dot product).
+    Built from the same compressor-tree machinery as the counters,
+    plus a constant-threshold comparator. *)
+
+val decoder : int -> Netlist.t
+(** [decoder n] — n-to-2^n line decoder (balanced AND trees over the
+    select literals). The paper's "decoder" benchmark is matched by
+    [decoder 7]. *)
+
+val sorter : int -> Netlist.t
+(** [sorter n] — Batcher odd-even merge sorting network over [n]
+    1-bit inputs ([n] a power of two); compare-exchange = (OR, AND).
+    Output 0 is the largest bit. *)
+
+val iscas_like :
+  seed:int -> pi:int -> po:int -> gates:int -> depth:int -> Netlist.t
+(** Synthetic DAG with the given profile: [gates] random 2-input
+    AOI gates arranged in [depth] layers, every layer-to-layer edge
+    chosen pseudo-randomly (deterministic in [seed]), all primary
+    outputs driven. Used to stand in for the ISCAS'85 c-series. *)
+
+val benchmark : string -> Netlist.t
+(** Benchmarks by paper name: ["adder8"], ["apc32"], ["apc128"],
+    ["decoder"], ["sorter32"], ["c432"], ["c499"], ["c1355"],
+    ["c1908"]; plus the non-paper extras ["mult4"] and ["mult8"].
+    Raises [Not_found] for unknown names. *)
+
+val benchmark_names : string list
+(** The nine names above, in the paper's Table II order. *)
+
+(** Reference (specification-level) models used by the test suite. *)
+module Reference : sig
+  val add : int -> int -> int -> bool -> int * bool
+  (** [add w a b cin] — expected sum/carry of the adder. *)
+
+  val popcount : int -> int
+
+  val multiply : int -> int -> int -> int
+  (** [multiply w a b] — expected product of the w-bit multiplier. *)
+
+  val bnn_fire : bool array -> bool array -> bool
+  (** Expected neuron output: strictly more than half agreements. *)
+
+  val sorted_outputs : bool list -> bool list
+  (** Expected sorter output: all ones first. *)
+end

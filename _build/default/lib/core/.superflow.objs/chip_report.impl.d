@@ -1,0 +1,1 @@
+lib/core/chip_report.ml: Array Buffer Cell Energy Float Flow Format Geom Hashtbl Layout List Option Printf Problem Sta String Table

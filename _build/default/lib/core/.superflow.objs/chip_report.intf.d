@@ -1,0 +1,1 @@
+lib/core/chip_report.mli: Energy Flow Sta

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Bench_parser Bufferline Congestion Def Detailed Drc Energy Format Layout List Netlist Placer Problem Router Sta Synth_flow Sys Tech Verilog

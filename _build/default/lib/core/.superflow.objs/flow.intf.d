@@ -1,0 +1,1 @@
+lib/core/flow.mli: Drc Energy Format Layout Netlist Placer Problem Router Sta Stdlib Synth_flow Tech

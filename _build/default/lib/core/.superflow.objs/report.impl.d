@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Circuits Detailed Float Flow Format Global Hashtbl Legalize List Option Placer Printf Problem Router Sta Stats String Synth_flow Table Tech

@@ -1,0 +1,158 @@
+type cell_class_row = {
+  class_name : string;
+  count : int;
+  jj : int;
+  area_um2 : float;
+}
+
+type t = {
+  design_cells : int;
+  design_nets : int;
+  phases : int;
+  die_area_mm2 : float;
+  utilization : float;
+  by_class : cell_class_row list;
+  wirelength_m1 : float;
+  wirelength_m2 : float;
+  vias : int;
+  sta : Sta.report;
+  energy : Energy.report;
+}
+
+let of_flow (r : Flow.result) =
+  let p = r.Flow.problem in
+  let layout = r.Flow.layout in
+  let classes : (string, cell_class_row) Hashtbl.t = Hashtbl.create 16 in
+  let cell_area = ref 0.0 in
+  Array.iter
+    (fun c ->
+      let lib = c.Problem.lib in
+      let name = lib.Cell.cell_name in
+      let area = lib.Cell.width *. lib.Cell.height in
+      cell_area := !cell_area +. area;
+      let cur =
+        Option.value
+          ~default:{ class_name = name; count = 0; jj = 0; area_um2 = 0.0 }
+          (Hashtbl.find_opt classes name)
+      in
+      Hashtbl.replace classes name
+        {
+          cur with
+          count = cur.count + 1;
+          jj = cur.jj + lib.Cell.jj_count;
+          area_um2 = cur.area_um2 +. area;
+        })
+    p.Problem.cells;
+  let by_class =
+    Hashtbl.fold (fun _ row acc -> row :: acc) classes []
+    |> List.sort (fun a b -> compare b.area_um2 a.area_um2)
+  in
+  let m1, m2 =
+    Array.fold_left
+      (fun (m1, m2) (w : Layout.wire) ->
+        let len = Geom.dist_manhattan w.Layout.a w.Layout.b in
+        if w.Layout.layer = 10 then (m1 +. len, m2) else (m1, m2 +. len))
+      (0.0, 0.0) layout.Layout.wires
+  in
+  let die_area_mm2 = Geom.area layout.Layout.die /. 1e6 in
+  {
+    design_cells = Array.length p.Problem.cells;
+    design_nets = Array.length p.Problem.nets;
+    phases = p.Problem.n_rows;
+    die_area_mm2;
+    utilization = !cell_area /. Float.max 1.0 (Geom.area layout.Layout.die);
+    by_class;
+    wirelength_m1 = m1;
+    wirelength_m2 = m2;
+    vias = Array.length layout.Layout.vias;
+    sta = r.Flow.sta;
+    energy = r.Flow.energy;
+  }
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "=== SuperFlow design report ===\n\n";
+  add "cells: %d   nets: %d   clock phases: %d\n" t.design_cells t.design_nets t.phases;
+  add "die: %.2f mm2   utilization: %.0f%%\n\n" t.die_area_mm2 (100.0 *. t.utilization);
+  let tbl = Table.create ~headers:[ "cell"; "count"; "JJs"; "area (um2)"; "area %" ] in
+  Table.set_align tbl [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ];
+  let total_area =
+    List.fold_left (fun acc r -> acc +. r.area_um2) 0.0 t.by_class
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          r.class_name;
+          Table.fmt_int r.count;
+          Table.fmt_int r.jj;
+          Table.fmt_float ~dec:0 r.area_um2;
+          Table.fmt_float (100.0 *. r.area_um2 /. Float.max 1.0 total_area);
+        ])
+    t.by_class;
+  Buffer.add_string buf (Table.render tbl);
+  add "\nwiring: metal1 %.0f um, metal2 %.0f um, %d vias\n"
+    t.wirelength_m1 t.wirelength_m2 t.vias;
+  add "timing: %s\n" (Format.asprintf "%a" Sta.pp_report t.sta);
+  add "energy: %s\n" (Format.asprintf "%a" Energy.pp t.energy);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_html ?svg ?(title = "SuperFlow design report") t =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>\n"
+    (html_escape title);
+  add
+    "<style>body{font-family:system-ui,sans-serif;margin:2rem;max-width:70rem}\n\
+     table{border-collapse:collapse;margin:1rem 0}\n\
+     td,th{border:1px solid #ccc;padding:0.3rem 0.7rem;text-align:right}\n\
+     th{background:#f0f0f0}td:first-child,th:first-child{text-align:left}\n\
+     .kpi{display:inline-block;margin:0 2rem 1rem 0}.kpi b{font-size:1.5rem}\n\
+     svg{border:1px solid #ddd;max-width:100%%;height:auto}</style></head><body>\n";
+  add "<h1>%s</h1>\n" (html_escape title);
+  add "<div>";
+  let kpi label value = add "<span class=\"kpi\">%s<br><b>%s</b></span>" label value in
+  kpi "cells" (string_of_int t.design_cells);
+  kpi "nets" (string_of_int t.design_nets);
+  kpi "clock phases" (string_of_int t.phases);
+  kpi "die" (Printf.sprintf "%.2f mm&sup2;" t.die_area_mm2);
+  kpi "utilization" (Printf.sprintf "%.0f%%" (100.0 *. t.utilization));
+  kpi "WNS"
+    (if Sta.meets_timing t.sta then Printf.sprintf "+%.1f ps" t.sta.Sta.wns_ps
+     else Printf.sprintf "%.1f ps" t.sta.Sta.wns_ps);
+  kpi "energy/cycle" (Printf.sprintf "%.2e J" t.energy.Energy.energy_per_cycle_j);
+  add "</div>\n";
+  add "<h2>Area by cell class</h2>\n<table><tr><th>cell</th><th>count</th><th>JJs</th><th>area (&micro;m&sup2;)</th></tr>\n";
+  List.iter
+    (fun r ->
+      add "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.0f</td></tr>\n"
+        (html_escape r.class_name) r.count r.jj r.area_um2)
+    t.by_class;
+  add "</table>\n";
+  add "<h2>Wiring</h2><p>metal1 %.0f &micro;m &middot; metal2 %.0f &micro;m &middot; %d vias</p>\n"
+    t.wirelength_m1 t.wirelength_m2 t.vias;
+  add "<h2>Timing</h2><p>%s</p>\n"
+    (html_escape (Format.asprintf "%a" Sta.pp_report t.sta));
+  add "<h2>Energy</h2><p>%s</p>\n"
+    (html_escape (Format.asprintf "%a" Energy.pp t.energy));
+  (match svg with
+  | Some svg_text ->
+      add "<h2>Layout</h2>\n%s\n" svg_text
+  | None -> ());
+  add "</body></html>\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Full-design signoff report: the consolidated view a designer reads
+    after [Flow.run] — area breakdown by cell kind, wirelength by
+    metal layer, clock-phase utilization, timing summary with slack
+    histogram, and the energy estimate. Rendered as ASCII tables by
+    the CLI's [report] subcommand. *)
+
+type cell_class_row = {
+  class_name : string;
+  count : int;
+  jj : int;
+  area_um2 : float;
+}
+
+type t = {
+  design_cells : int;
+  design_nets : int;
+  phases : int;
+  die_area_mm2 : float;
+  utilization : float;  (** cell area / die area *)
+  by_class : cell_class_row list;  (** descending by area *)
+  wirelength_m1 : float;
+  wirelength_m2 : float;
+  vias : int;
+  sta : Sta.report;
+  energy : Energy.report;
+}
+
+val of_flow : Flow.result -> t
+
+val render : t -> string
+
+val print : t -> unit
+
+val to_html : ?svg:string -> ?title:string -> t -> string
+(** Self-contained HTML signoff page: the same numbers as {!render}
+    as styled tables, with the layout SVG (from {!Svg.render})
+    embedded inline when provided. CLI: [superflow report --html]. *)

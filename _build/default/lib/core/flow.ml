@@ -1,0 +1,119 @@
+type times = {
+  synth_s : float;
+  place_s : float;
+  route_s : float;
+  layout_s : float;
+}
+
+type result = {
+  aqfp_netlist : Netlist.t;
+  problem : Problem.t;
+  routing : Router.result;
+  layout : Layout.t;
+  violations : Drc.violation list;
+  synth_report : Synth_flow.report;
+  placement : Placer.result;
+  sta : Sta.report;
+  energy : Energy.report;
+  buffer_lines : int;
+  drc_fix_rounds : int;
+  times : times;
+}
+
+let version = "0.1.0"
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let run ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
+    ?(router = Router.Sequential) ?(seed = 1) ?gds_path ?def_path aoi =
+  (* 1. logic synthesis: AOI -> MAJ -> balanced AQFP netlist *)
+  let (aqfp0, synth_report), synth_s = timed (fun () -> Synth_flow.run aoi) in
+  (* 2. placement *)
+  let (placement, p0), place_s =
+    timed (fun () ->
+        let p = Problem.of_netlist tech aqfp0 in
+        let r = Placer.place ~seed algorithm p in
+        (r, p))
+  in
+  (* 3. max-wirelength buffer-line insertion (re-threads long hops
+     through whole rows of buffers, keeping the pipeline balanced) *)
+  let aqfp, p, buffer_lines = Bufferline.insert aqfp0 p0 in
+  (* newly inserted buffer rows start at crude midpoints; one light
+     detailed pass settles them *)
+  if buffer_lines > 0 then
+    ignore
+      (Detailed.run
+         ~options:{ Detailed.default_options with max_passes = 3; window = 2 }
+         p);
+  (* 4. routing + DRC fix loop: violating regions get extra space.
+     Channels are pre-sized from the placement's channel density so
+     the router's reactive expansion loop has less to do. *)
+  ignore (Congestion.preexpand p);
+  let route_once () = Router.route_all ~algorithm:router p in
+  let routing0, route_s = timed route_once in
+  let build_layout routing = Layout.build p routing in
+  let rec fix_loop routing rounds =
+    let layout = build_layout routing in
+    let violations = Drc.check layout in
+    if violations = [] || rounds >= 3 then (routing, layout, violations, rounds)
+    else begin
+      let gaps = Drc.gap_hints p violations in
+      if gaps = [] then (routing, layout, violations, rounds)
+      else begin
+        List.iter
+          (fun g ->
+            if g >= 0 && g < Array.length p.Problem.row_gaps then
+              p.Problem.row_gaps.(g) <- p.Problem.row_gaps.(g) +. tech.Tech.s_min)
+          gaps;
+        let routing' = Router.route_all ~algorithm:router p in
+        fix_loop routing' (rounds + 1)
+      end
+    end
+  in
+  let (routing, layout, violations, drc_fix_rounds), layout_s =
+    timed (fun () -> fix_loop routing0 0)
+  in
+  (match gds_path with Some path -> Layout.write_gds path layout | None -> ());
+  (match def_path with
+  | Some path -> Def.write_file path (Def.of_design ~design:"superflow" p routing)
+  | None -> ());
+  (* sign-off timing uses the actual routed lengths *)
+  let sta = Sta.analyze_routed p routing in
+  let energy = Energy.of_netlist tech aqfp in
+  {
+    aqfp_netlist = aqfp;
+    problem = p;
+    routing;
+    layout;
+    violations;
+    synth_report;
+    placement;
+    sta;
+    energy;
+    buffer_lines;
+    drc_fix_rounds;
+    times = { synth_s; place_s; route_s; layout_s };
+  }
+
+let run_verilog ?tech ?algorithm ?router ?gds_path ?def_path source =
+  match Verilog.parse source with
+  | Error e -> Error e
+  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?gds_path ?def_path aoi)
+
+let run_bench_file ?tech ?algorithm ?router ?gds_path ?def_path path =
+  match Bench_parser.parse_file path with
+  | Error e -> Error e
+  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?gds_path ?def_path aoi)
+
+let pp_summary ppf r =
+  let s = Layout.stats r.layout in
+  Format.fprintf ppf
+    "@[<v>synthesis: %a@,placement: %a@,buffer lines: %d@,routing: wl=%.0fum vias=%d expansions=%d@,layout: %a@,timing: %a@,energy: %a@,drc: %d violation(s), %d fix round(s)@]"
+    Synth_flow.pp_report r.synth_report Placer.pp_result r.placement
+    r.buffer_lines r.routing.Router.wirelength r.routing.Router.total_vias
+    r.routing.Router.expansions Layout.pp_stats s Sta.pp_report r.sta Energy.pp
+    r.energy
+    (List.length r.violations) r.drc_fix_rounds

@@ -1,0 +1,61 @@
+(** SuperFlow: the end-to-end RTL-to-GDS driver (paper Fig. 3).
+
+    Pipeline: AOI netlist (from the Verilog frontend, a [.bench]
+    file, or a generator) → majority-based logic synthesis with
+    buffer/splitter insertion → row-wise timing-aware placement →
+    max-wirelength buffer-line insertion → layer-wise A* routing →
+    layout generation → DRC, with an automatic fix loop (violating
+    regions get extra routing space and are re-routed) → GDSII.
+
+    Every stage's report is retained so callers (CLI, benches, tests)
+    can reproduce the paper's tables from one [run]. *)
+
+type times = {
+  synth_s : float;
+  place_s : float;
+  route_s : float;
+  layout_s : float;
+}
+
+type result = {
+  aqfp_netlist : Netlist.t;  (** after buffer-line insertion *)
+  problem : Problem.t;  (** final placed problem *)
+  routing : Router.result;
+  layout : Layout.t;
+  violations : Drc.violation list;  (** remaining after the fix loop *)
+  synth_report : Synth_flow.report;
+  placement : Placer.result;
+  sta : Sta.report;
+  energy : Energy.report;  (** adiabatic energy estimate of the design *)
+  buffer_lines : int;
+  drc_fix_rounds : int;
+  times : times;
+}
+
+val run :
+  ?tech:Tech.t ->
+  ?algorithm:Placer.algorithm ->
+  ?router:Router.algorithm ->
+  ?seed:int ->
+  ?gds_path:string ->
+  ?def_path:string ->
+  Netlist.t ->
+  result
+(** Run the full flow on an AOI netlist. [algorithm] defaults to
+    [Placer.Superflow] and [router] to [Router.Sequential];
+    [gds_path] writes the final GDSII stream; [def_path] the
+    DEF-style placement/routing dump. *)
+
+val run_verilog :
+  ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
+  ?gds_path:string -> ?def_path:string -> string -> (result, string) Stdlib.result
+(** Full flow from Verilog source text. *)
+
+val run_bench_file :
+  ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
+  ?gds_path:string -> ?def_path:string -> string -> (result, string) Stdlib.result
+(** Full flow from an ISCAS [.bench] file path. *)
+
+val version : string
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/layout/def.ml: Array Buffer Cell Float Geom Hashtbl List Printf Problem Router String

@@ -1,0 +1,1 @@
+lib/layout/def.mli: Geom Problem Router Stdlib

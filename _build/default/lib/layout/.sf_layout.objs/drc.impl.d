@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Cell Float Format Geom Hashtbl Layout List Option Printf Problem Tech

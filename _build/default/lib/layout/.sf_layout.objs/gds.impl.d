@@ -1,0 +1,1 @@
+lib/layout/gds.ml: Buffer Bytes Char Float Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Array Cell Format Gds Geom Hashtbl List Problem Router Tech

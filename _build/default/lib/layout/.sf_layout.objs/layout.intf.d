@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Cell Format Gds Geom Problem Router Tech

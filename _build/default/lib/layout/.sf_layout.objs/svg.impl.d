@@ -1,0 +1,1 @@
+lib/layout/svg.ml: Array Buffer Cell Geom Layout Printf Problem

@@ -1,0 +1,1 @@
+lib/layout/svg.mli: Layout Problem

@@ -1,0 +1,228 @@
+type violation = { rule : string; at : Geom.point; detail : string }
+
+type options = { max_density : float; density_window : float }
+
+let default_options = { max_density = 0.9; density_window = 200.0 }
+
+let eps = 1e-6
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s at %a: %s" v.rule Geom.pp_point v.at v.detail
+
+let cell_rect (pc : Layout.placed_cell) =
+  Geom.rect_of_size ~x:pc.Layout.origin.Geom.x ~y:pc.Layout.origin.Geom.y
+    ~w:pc.Layout.lib.Cell.width ~h:pc.Layout.lib.Cell.height
+
+(* ---- cell rules: group cells by row (same top edge) ---- *)
+
+let check_cells t push =
+  let tech = t.Layout.tech in
+  let groups : (float, Layout.placed_cell list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun pc ->
+      let key = pc.Layout.origin.Geom.y in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (pc :: cur))
+    t.Layout.cells;
+  Hashtbl.iter
+    (fun _ row ->
+      let sorted =
+        List.sort (fun a b -> compare a.Layout.origin.Geom.x b.Layout.origin.Geom.x) row
+      in
+      let rec scan = function
+        | a :: (b :: _ as rest) ->
+            let ra = cell_rect a and rb = cell_rect b in
+            let gap = rb.Geom.lx -. ra.Geom.hx in
+            if gap < -.eps then
+              push "cell-overlap"
+                (Geom.pt rb.Geom.lx rb.Geom.ly)
+                (Printf.sprintf "cells %d/%d overlap by %.1fum" a.Layout.node
+                   b.Layout.node (-.gap))
+            else if gap > eps && gap < t.Layout.tech.Tech.s_min -. eps then
+              push "cell-spacing"
+                (Geom.pt rb.Geom.lx rb.Geom.ly)
+                (Printf.sprintf "cells %d/%d gap %.1fum < s_min" a.Layout.node
+                   b.Layout.node gap);
+            scan rest
+        | _ -> ()
+      in
+      scan sorted)
+    groups;
+  Array.iter
+    (fun pc ->
+      if not (Tech.on_grid tech pc.Layout.origin.Geom.x && Tech.on_grid tech pc.Layout.origin.Geom.y)
+      then
+        push "off-grid" pc.Layout.origin
+          (Printf.sprintf "cell %d origin off the %.0fum grid" pc.Layout.node
+             tech.Tech.grid))
+    t.Layout.cells
+
+(* ---- wire rules ---- *)
+
+type span = { fixed : float; lo : float; hi : float; net : int; layer : int }
+
+let spans_of_wires t horizontal =
+  Array.to_list t.Layout.wires
+  |> List.filter_map (fun (w : Layout.wire) ->
+         let is_h = w.Layout.a.Geom.y = w.Layout.b.Geom.y in
+         if is_h = horizontal then
+           let fixed = if horizontal then w.Layout.a.Geom.y else w.Layout.a.Geom.x in
+           let c1 = if horizontal then w.Layout.a.Geom.x else w.Layout.a.Geom.y in
+           let c2 = if horizontal then w.Layout.b.Geom.x else w.Layout.b.Geom.y in
+           Some
+             {
+               fixed;
+               lo = Float.min c1 c2;
+               hi = Float.max c1 c2;
+               net = w.Layout.net;
+               layer = w.Layout.layer;
+             }
+         else None)
+
+let check_wire_geometry t push =
+  let tech = t.Layout.tech in
+  let s_min = tech.Tech.s_min in
+  let check_direction horizontal =
+    let spans =
+      spans_of_wires t horizontal
+      |> List.sort (fun a b -> compare (a.fixed, a.lo) (b.fixed, b.lo))
+    in
+    let arr = Array.of_list spans in
+    let n = Array.length arr in
+    for i = 0 to n - 1 do
+      let a = arr.(i) in
+      let j = ref (i + 1) in
+      while !j < n && arr.(!j).fixed -. a.fixed < s_min -. eps do
+        let b = arr.(!j) in
+        if b.net <> a.net && a.layer = b.layer then begin
+          let overlap = Float.min a.hi b.hi -. Float.max a.lo b.lo in
+          if overlap > eps then begin
+            let x, y =
+              if horizontal then (Float.max a.lo b.lo, b.fixed)
+              else (b.fixed, Float.max a.lo b.lo)
+            in
+            if Float.abs (b.fixed -. a.fixed) < eps then
+              push "wire-overlap" (Geom.pt x y)
+                (Printf.sprintf "nets %d/%d share a track" a.net b.net)
+            else
+              push "wire-spacing" (Geom.pt x y)
+                (Printf.sprintf "nets %d/%d %.1fum apart" a.net b.net
+                   (Float.abs (b.fixed -. a.fixed)))
+          end
+        end;
+        incr j
+      done
+    done
+  in
+  check_direction true;
+  check_direction false;
+  Array.iter
+    (fun (w : Layout.wire) ->
+      List.iter
+        (fun (p : Geom.point) ->
+          if not (Tech.on_grid tech p.Geom.x && Tech.on_grid tech p.Geom.y) then
+            push "off-grid" p (Printf.sprintf "net %d wire endpoint off grid" w.Layout.net))
+        [ w.Layout.a; w.Layout.b ])
+    t.Layout.wires
+
+(* zigzag: a segment between two vias of its net must be >= s_min *)
+let check_zigzag t push =
+  let via_set : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let key net (p : Geom.point) =
+    (net, int_of_float (Float.round p.Geom.x), int_of_float (Float.round p.Geom.y))
+  in
+  Array.iter (fun (v : Layout.via) -> Hashtbl.replace via_set (key v.Layout.net v.Layout.at) ())
+    t.Layout.vias;
+  Array.iter
+    (fun (w : Layout.wire) ->
+      let len = Geom.dist_manhattan w.Layout.a w.Layout.b in
+      if
+        len > eps
+        && len < t.Layout.tech.Tech.s_min -. eps
+        && Hashtbl.mem via_set (key w.Layout.net w.Layout.a)
+        && Hashtbl.mem via_set (key w.Layout.net w.Layout.b)
+      then
+        push "zigzag-spacing" w.Layout.a
+          (Printf.sprintf "net %d bend-to-bend run %.1fum < s_min" w.Layout.net len))
+    t.Layout.wires
+
+(* vias must land on an endpoint of wires of both layers of their net *)
+let check_vias t push =
+  let ends : (int * int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let key net (p : Geom.point) =
+    (net, int_of_float (Float.round p.Geom.x), int_of_float (Float.round p.Geom.y))
+  in
+  Array.iter
+    (fun (w : Layout.wire) ->
+      List.iter
+        (fun p ->
+          let k = key w.Layout.net p in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt ends k) in
+          Hashtbl.replace ends k (w.Layout.layer :: cur))
+        [ w.Layout.a; w.Layout.b ])
+    t.Layout.wires;
+  Array.iter
+    (fun (v : Layout.via) ->
+      let layers =
+        Option.value ~default:[] (Hashtbl.find_opt ends (key v.Layout.net v.Layout.at))
+        |> List.sort_uniq compare
+      in
+      if List.length layers < 2 then
+        push "via-alignment" v.Layout.at
+          (Printf.sprintf "net %d via does not join two layers" v.Layout.net))
+    t.Layout.vias
+
+let check_density t options push =
+  let window = options.density_window in
+  let die = t.Layout.die in
+  let nx = max 1 (int_of_float (ceil (Geom.width die /. window))) in
+  let ny = max 1 (int_of_float (ceil (Geom.height die /. window))) in
+  let area = Array.make (nx * ny) 0.0 in
+  Array.iter
+    (fun (w : Layout.wire) ->
+      let len = Geom.dist_manhattan w.Layout.a w.Layout.b in
+      let mid_x = (w.Layout.a.Geom.x +. w.Layout.b.Geom.x) /. 2.0 in
+      let mid_y = (w.Layout.a.Geom.y +. w.Layout.b.Geom.y) /. 2.0 in
+      let ix = min (nx - 1) (max 0 (int_of_float ((mid_x -. die.Geom.lx) /. window))) in
+      let iy = min (ny - 1) (max 0 (int_of_float ((mid_y -. die.Geom.ly) /. window))) in
+      area.((iy * nx) + ix) <- area.((iy * nx) + ix) +. (len *. Layout.wire_width))
+    t.Layout.wires;
+  Array.iteri
+    (fun idx a ->
+      let density = a /. (window *. window) in
+      if density > options.max_density then begin
+        let ix = idx mod nx and iy = idx / nx in
+        push "density"
+          (Geom.pt
+             (die.Geom.lx +. ((float_of_int ix +. 0.5) *. window))
+             (die.Geom.ly +. ((float_of_int iy +. 0.5) *. window)))
+          (Printf.sprintf "metal density %.0f%% > %.0f%%" (100.0 *. density)
+             (100.0 *. options.max_density))
+      end)
+    area
+
+let check ?(options = default_options) t =
+  let violations = ref [] in
+  let push rule at detail = violations := { rule; at; detail } :: !violations in
+  check_cells t push;
+  check_wire_geometry t push;
+  check_zigzag t push;
+  check_vias t push;
+  check_density t options push;
+  List.rev !violations
+
+let gap_hints p violations =
+  let find_gap y =
+    let rec loop r =
+      if r >= p.Problem.n_rows - 1 then p.Problem.n_rows - 2
+      else if y < Problem.row_top p (r + 1) then r
+      else loop (r + 1)
+    in
+    loop 0
+  in
+  violations
+  |> List.filter (fun v ->
+         v.rule = "wire-overlap" || v.rule = "wire-spacing" || v.rule = "density"
+         || v.rule = "zigzag-spacing")
+  |> List.map (fun v -> find_gap v.at.Geom.y)
+  |> List.sort_uniq compare

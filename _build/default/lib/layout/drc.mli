@@ -1,0 +1,37 @@
+(** Design Rule Check engine (the flow's KLayout substitute,
+    paper §III-E).
+
+    Checks a {!Layout.t} against the AQFP process rules and returns
+    every violation with its location, so the flow driver can adjust
+    placement/routing and re-check:
+
+    - [cell-overlap]: two cells' bodies intersect;
+    - [cell-spacing]: same-row neighbors neither abut nor keep s_min;
+    - [off-grid]: a cell origin or wire endpoint off the 10 µm grid;
+    - [wire-overlap]: two same-layer collinear wires of different nets
+      share centerline extent;
+    - [wire-spacing]: two same-layer parallel wires of different nets
+      run closer than s_min (centerline) with overlapping extent;
+    - [zigzag-spacing]: a wire shorter than s_min between two bends
+      (the paper's zigzag rule);
+    - [via-alignment]: a via not placed on a wire corner of its net;
+    - [density]: metal density above [max_density] inside any window
+      (metal-layer density rule). *)
+
+type violation = { rule : string; at : Geom.point; detail : string }
+
+type options = {
+  max_density : float;  (** fraction, default 0.9 *)
+  density_window : float;  (** µm, default 200 *)
+}
+
+val default_options : options
+
+val check : ?options:options -> Layout.t -> violation list
+(** Empty list = clean layout. *)
+
+val gap_hints : Problem.t -> violation list -> int list
+(** Row gaps implicated by wire violations (by y coordinate) — the
+    flow driver expands these and re-routes. *)
+
+val pp_violation : Format.formatter -> violation -> unit

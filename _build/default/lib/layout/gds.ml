@@ -1,0 +1,318 @@
+type element =
+  | Boundary of { layer : int; points : (float * float) list }
+  | Path of { layer : int; width : float; points : (float * float) list }
+  | Sref of { sname : string; x : float; y : float }
+  | Text of { layer : int; x : float; y : float; text : string }
+
+type structure = { sname : string; elements : element list }
+
+type lib = { libname : string; structures : structure list }
+
+(* database unit = 1 nm; user unit = 1 um *)
+let dbu_per_um = 1000.0
+
+(* ---- GDSII 8-byte real (excess-64, base-16) ---- *)
+
+let gds_real_of_float v =
+  if v = 0.0 then 0L
+  else begin
+    let sign = v < 0.0 in
+    let a = ref (Float.abs v) in
+    let exp = ref 64 in
+    while !a >= 1.0 do
+      a := !a /. 16.0;
+      incr exp
+    done;
+    while !a < 0.0625 && !exp > 0 do
+      a := !a *. 16.0;
+      decr exp
+    done;
+    let mant = Int64.of_float (Float.round (!a *. 72057594037927936.0 (* 2^56 *))) in
+    let mant, exp =
+      if mant = 72057594037927936L then (4503599627370496L (* 2^52 = 2^56/16 *), !exp + 1)
+      else (mant, !exp)
+    in
+    let bits = Int64.logor (Int64.shift_left (Int64.of_int exp) 56) mant in
+    if sign then Int64.logor bits Int64.min_int else bits
+  end
+
+let float_of_gds_real bits =
+  if bits = 0L then 0.0
+  else begin
+    let sign = Int64.compare bits 0L < 0 in
+    let exp = Int64.to_int (Int64.logand (Int64.shift_right_logical bits 56) 0x7FL) in
+    let mant = Int64.logand bits 0xFFFFFFFFFFFFFFL in
+    let m = Int64.to_float mant /. 72057594037927936.0 in
+    let v = m *. (16.0 ** float_of_int (exp - 64)) in
+    if sign then -.v else v
+  end
+
+(* ---- record-level writer ---- *)
+
+let rt_header = 0x00
+let rt_bgnlib = 0x01
+let rt_libname = 0x02
+let rt_units = 0x03
+let rt_endlib = 0x04
+let rt_bgnstr = 0x05
+let rt_strname = 0x06
+let rt_endstr = 0x07
+let rt_boundary = 0x08
+let rt_path = 0x09
+let rt_sref = 0x0A
+let rt_text = 0x0C
+let rt_layer = 0x0D
+let rt_datatype = 0x0E
+let rt_width = 0x0F
+let rt_xy = 0x10
+let rt_endel = 0x11
+let rt_sname = 0x12
+let rt_texttype = 0x16
+let rt_string = 0x19
+
+let dt_none = 0x00
+let dt_int16 = 0x02
+let dt_int32 = 0x03
+let dt_real8 = 0x05
+let dt_ascii = 0x06
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_i32 buf v =
+  Buffer.add_char buf (Char.chr ((v asr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v asr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v asr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_i64 buf v =
+  for shift = 56 downto 0 do
+    if shift mod 8 = 0 then
+      Buffer.add_char buf
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL)))
+  done
+
+let record buf rtype dtype payload_len fill =
+  add_u16 buf (4 + payload_len);
+  Buffer.add_char buf (Char.chr rtype);
+  Buffer.add_char buf (Char.chr dtype);
+  fill buf
+
+let record_none buf rtype = record buf rtype dt_none 0 (fun _ -> ())
+
+let record_i16s buf rtype values =
+  record buf rtype dt_int16 (2 * List.length values) (fun b ->
+      List.iter (add_u16 b) values)
+
+let record_i32s buf rtype values =
+  record buf rtype dt_int32 (4 * List.length values) (fun b ->
+      List.iter (add_i32 b) values)
+
+let record_string buf rtype s =
+  let padded = if String.length s mod 2 = 1 then s ^ "\000" else s in
+  record buf rtype dt_ascii (String.length padded) (fun b -> Buffer.add_string b padded)
+
+let dbu x = int_of_float (Float.round (x *. dbu_per_um))
+
+let xy_record buf points =
+  record buf rt_xy dt_int32
+    (8 * List.length points)
+    (fun b ->
+      List.iter
+        (fun (x, y) ->
+          add_i32 b (dbu x);
+          add_i32 b (dbu y))
+        points)
+
+(* fixed deterministic timestamp: 2024-01-01 00:00:00 *)
+let timestamp = [ 2024; 1; 1; 0; 0; 0 ]
+
+let write_element buf = function
+  | Boundary { layer; points } ->
+      record_none buf rt_boundary;
+      record_i16s buf rt_layer [ layer ];
+      record_i16s buf rt_datatype [ 0 ];
+      (* GDSII boundaries repeat the first point at the end *)
+      let closed =
+        match points with
+        | [] -> []
+        | first :: _ -> points @ [ first ]
+      in
+      xy_record buf closed;
+      record_none buf rt_endel
+  | Path { layer; width; points } ->
+      record_none buf rt_path;
+      record_i16s buf rt_layer [ layer ];
+      record_i16s buf rt_datatype [ 0 ];
+      record_i32s buf rt_width [ dbu width ];
+      xy_record buf points;
+      record_none buf rt_endel
+  | Sref { sname; x; y } ->
+      record_none buf rt_sref;
+      record_string buf rt_sname sname;
+      xy_record buf [ (x, y) ];
+      record_none buf rt_endel
+  | Text { layer; x; y; text } ->
+      record_none buf rt_text;
+      record_i16s buf rt_layer [ layer ];
+      record_i16s buf rt_texttype [ 0 ];
+      xy_record buf [ (x, y) ];
+      record_string buf rt_string text;
+      record_none buf rt_endel
+
+let to_bytes lib =
+  let buf = Buffer.create (1 lsl 16) in
+  record_i16s buf rt_header [ 600 ];
+  record_i16s buf rt_bgnlib (timestamp @ timestamp);
+  record_string buf rt_libname lib.libname;
+  record buf rt_units dt_real8 16 (fun b ->
+      (* user unit in db units; db unit in meters *)
+      add_i64 b (gds_real_of_float (1.0 /. dbu_per_um));
+      add_i64 b (gds_real_of_float 1e-9));
+  List.iter
+    (fun s ->
+      record_i16s buf rt_bgnstr (timestamp @ timestamp);
+      record_string buf rt_strname s.sname;
+      List.iter (write_element buf) s.elements;
+      record_none buf rt_endstr)
+    lib.structures;
+  record_none buf rt_endlib;
+  Buffer.to_bytes buf
+
+(* ---- reader ---- *)
+
+exception Bad of string
+
+type raw_record = { rtype : int; data : string }
+
+let parse_records data =
+  let n = Bytes.length data in
+  let records = ref [] in
+  let pos = ref 0 in
+  while !pos + 4 <= n do
+    let len = (Char.code (Bytes.get data !pos) lsl 8) lor Char.code (Bytes.get data (!pos + 1)) in
+    if len < 4 then raise (Bad (Printf.sprintf "bad record length %d at %d" len !pos));
+    if !pos + len > n then raise (Bad "truncated record");
+    let rtype = Char.code (Bytes.get data (!pos + 2)) in
+    let payload = Bytes.sub_string data (!pos + 4) (len - 4) in
+    records := { rtype; data = payload } :: !records;
+    pos := !pos + len
+  done;
+  List.rev !records
+
+let get_i16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let get_i32 s off =
+  let v =
+    (Char.code s.[off] lsl 24)
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+  in
+  (* sign-extend from 32 bits *)
+  (v lxor 0x80000000) - 0x80000000
+
+let get_string s =
+  match String.index_opt s '\000' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let get_xy s =
+  let n = String.length s / 8 in
+  List.init n (fun i ->
+      let x = get_i32 s (8 * i) and y = get_i32 s ((8 * i) + 4) in
+      (float_of_int x /. dbu_per_um, float_of_int y /. dbu_per_um))
+
+let of_bytes data =
+  try
+    let records = parse_records data in
+    let libname = ref "" in
+    let structures = ref [] in
+    let rec lib_level = function
+      | [] -> raise (Bad "missing ENDLIB")
+      | r :: rest when r.rtype = rt_libname ->
+          libname := get_string r.data;
+          lib_level rest
+      | r :: rest when r.rtype = rt_bgnstr -> structure rest
+      | r :: _ when r.rtype = rt_endlib -> ()
+      | _ :: rest -> lib_level rest
+    and structure records =
+      let sname = ref "" in
+      let elements = ref [] in
+      let rec loop = function
+        | [] -> raise (Bad "missing ENDSTR")
+        | r :: rest when r.rtype = rt_strname ->
+            sname := get_string r.data;
+            loop rest
+        | r :: rest when r.rtype = rt_endstr ->
+            structures := { sname = !sname; elements = List.rev !elements } :: !structures;
+            lib_level rest
+        | r :: rest
+          when r.rtype = rt_boundary || r.rtype = rt_path || r.rtype = rt_sref
+               || r.rtype = rt_text ->
+            element r.rtype rest
+        | _ :: rest -> loop rest
+      and element kind records =
+        let layer = ref 0 and width = ref 0.0 and points = ref [] in
+        let sname_ref = ref "" and text = ref "" in
+        let rec el = function
+          | [] -> raise (Bad "missing ENDEL")
+          | r :: rest when r.rtype = rt_endel ->
+              let e =
+                if kind = rt_boundary then
+                  (* drop the closing repeat of the first point *)
+                  let pts =
+                    match (!points, List.rev !points) with
+                    | first :: _ :: _, last :: rev_tl when first = last ->
+                        List.rev rev_tl
+                    | _ -> !points
+                  in
+                  Boundary { layer = !layer; points = pts }
+                else if kind = rt_path then
+                  Path { layer = !layer; width = !width; points = !points }
+                else if kind = rt_sref then
+                  match !points with
+                  | [ (x, y) ] -> Sref { sname = !sname_ref; x; y }
+                  | _ -> raise (Bad "SREF needs one point")
+                else
+                  match !points with
+                  | [ (x, y) ] -> Text { layer = !layer; x; y; text = !text }
+                  | _ -> raise (Bad "TEXT needs one point")
+              in
+              elements := e :: !elements;
+              loop rest
+          | r :: rest ->
+              if r.rtype = rt_layer then layer := get_i16 r.data 0
+              else if r.rtype = rt_width then
+                width := float_of_int (get_i32 r.data 0) /. dbu_per_um
+              else if r.rtype = rt_xy then points := get_xy r.data
+              else if r.rtype = rt_sname then sname_ref := get_string r.data
+              else if r.rtype = rt_string then text := get_string r.data;
+              el rest
+        in
+        el records
+      in
+      loop records
+    in
+    (match records with
+    | r :: rest when r.rtype = rt_header -> lib_level rest
+    | _ -> raise (Bad "missing HEADER"));
+    Ok { libname = !libname; structures = List.rev !structures }
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let write_file path lib =
+  let oc = open_out_bin path in
+  output_bytes oc (to_bytes lib);
+  close_out oc
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    of_bytes (Bytes.of_string data)
+  with Sys_error msg -> Error msg

@@ -1,0 +1,39 @@
+(** GDSII stream format writer and reader.
+
+    Implements the subset of the GDSII binary format the flow needs:
+    HEADER/BGNLIB/LIBNAME/UNITS, structure definitions
+    (BGNSTR/STRNAME/ENDSTR) containing BOUNDARY, PATH, SREF and TEXT
+    elements, and ENDLIB — enough for KLayout or any other layout
+    tool to open the result. Database unit is 1 nm, user unit 1 µm.
+
+    Floating-point records use the GDSII 8-byte excess-64 base-16
+    real format; both directions are implemented and round-trip
+    tested. Coordinates are int32 database units on disk and µm
+    floats in the API. *)
+
+type element =
+  | Boundary of { layer : int; points : (float * float) list }
+      (** closed polygon; first point need not be repeated (the writer
+          closes it) *)
+  | Path of { layer : int; width : float; points : (float * float) list }
+  | Sref of { sname : string; x : float; y : float }
+  | Text of { layer : int; x : float; y : float; text : string }
+
+type structure = { sname : string; elements : element list }
+
+type lib = { libname : string; structures : structure list }
+
+val to_bytes : lib -> bytes
+
+val of_bytes : bytes -> (lib, string) result
+(** Parse a GDSII stream produced by this writer or any conforming
+    tool (unknown record types inside elements are skipped). *)
+
+val write_file : string -> lib -> unit
+
+val read_file : string -> (lib, string) result
+
+val gds_real_of_float : float -> int64
+(** 8-byte excess-64 encoding (exposed for tests). *)
+
+val float_of_gds_real : int64 -> float

@@ -1,0 +1,1 @@
+lib/netlist/bdd.ml: Array Hashtbl List Netlist

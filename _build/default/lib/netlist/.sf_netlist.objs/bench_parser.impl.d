@@ -1,0 +1,1 @@
+lib/netlist/bench_parser.ml: Array Buffer Hashtbl List Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/fault.ml: Array Format Fun List Netlist Rng Sim

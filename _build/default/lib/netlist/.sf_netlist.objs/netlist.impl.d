@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Buffer Format List Printf Queue String Vec

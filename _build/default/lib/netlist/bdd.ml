@@ -1,0 +1,224 @@
+(* ROBDD with a unique table (hash-consing) and a memoized ternary
+   if-then-else as the single connective. Nodes are integers into
+   growable arrays; 0 and 1 are the terminals. *)
+
+exception Limit
+
+type manager = {
+  n_vars : int;
+  max_nodes : int;
+  mutable var_of : int array; (* node -> splitting variable *)
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t; (* (var, low, high) -> node *)
+  ite_memo : (int * int * int, int) Hashtbl.t;
+}
+
+type node = { mgr : manager; id : int }
+
+let terminal_var = max_int
+
+let manager ?(max_nodes = 1_000_000) n_vars =
+  let cap = 1024 in
+  let m =
+    {
+      n_vars;
+      max_nodes;
+      var_of = Array.make cap terminal_var;
+      low_of = Array.make cap 0;
+      high_of = Array.make cap 0;
+      next = 2;
+      unique = Hashtbl.create 1024;
+      ite_memo = Hashtbl.create 4096;
+    }
+  in
+  (* ids 0 and 1 are the terminals *)
+  m
+
+let zero m = { mgr = m; id = 0 }
+let one m = { mgr = m; id = 1 }
+
+let grow m =
+  let cap = Array.length m.var_of in
+  let cap' = 2 * cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.var_of <- extend m.var_of terminal_var;
+  m.low_of <- extend m.low_of 0;
+  m.high_of <- extend m.high_of 0
+
+let mk m v low high =
+  if low = high then low
+  else
+    match Hashtbl.find_opt m.unique (v, low, high) with
+    | Some id -> id
+    | None ->
+        if m.next >= m.max_nodes then raise Limit;
+        if m.next >= Array.length m.var_of then grow m;
+        let id = m.next in
+        m.next <- id + 1;
+        m.var_of.(id) <- v;
+        m.low_of.(id) <- low;
+        m.high_of.(id) <- high;
+        Hashtbl.replace m.unique (v, low, high) id;
+        id
+
+let top_var m id = if id < 2 then terminal_var else m.var_of.(id)
+
+let rec ite m f g h =
+  (* terminal cases *)
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    match Hashtbl.find_opt m.ite_memo (f, g, h) with
+    | Some r -> r
+    | None ->
+        let v =
+          min (top_var m f) (min (top_var m g) (top_var m h))
+        in
+        let cof node side =
+          if node < 2 || m.var_of.(node) <> v then node
+          else if side then m.high_of.(node)
+          else m.low_of.(node)
+        in
+        let hi = ite m (cof f true) (cof g true) (cof h true) in
+        let lo = ite m (cof f false) (cof g false) (cof h false) in
+        let r = mk m v lo hi in
+        Hashtbl.replace m.ite_memo (f, g, h) r;
+        r
+
+let check_mgr a b =
+  if a.mgr != b.mgr then invalid_arg "Bdd: nodes from different managers"
+
+let var m k =
+  if k < 0 || k >= m.n_vars then invalid_arg "Bdd.var";
+  { mgr = m; id = mk m k 0 1 }
+
+let bnot m a = { mgr = m; id = ite m a.id 0 1 }
+let band m a b = check_mgr a b; { mgr = m; id = ite m a.id b.id 0 }
+let bor m a b = check_mgr a b; { mgr = m; id = ite m a.id 1 b.id }
+let bxor m a b = check_mgr a b; { mgr = m; id = ite m a.id (ite m b.id 0 1) b.id }
+
+let bmaj m a b c =
+  check_mgr a b;
+  check_mgr b c;
+  let ab = band m a b in
+  let ac = band m a c in
+  let bc = band m b c in
+  bor m ab (bor m ac bc)
+
+let equal a b = a.mgr == b.mgr && a.id = b.id
+
+let size m = m.next
+
+let sat_count m node =
+  let memo = Hashtbl.create 256 in
+  (* count over variables >= v *)
+  let rec count id v =
+    if v >= m.n_vars then (if id = 1 then 1.0 else 0.0)
+    else if id = 0 then 0.0
+    else if id = 1 then 2.0 ** float_of_int (m.n_vars - v)
+    else
+      match Hashtbl.find_opt memo (id, v) with
+      | Some c -> c
+      | None ->
+          let nv = top_var m id in
+          let c =
+            if nv > v then 2.0 *. count id (v + 1)
+            else count m.low_of.(id) (v + 1) +. count m.high_of.(id) (v + 1)
+          in
+          Hashtbl.replace memo (id, v) c;
+          c
+  in
+  count node.id 0
+
+let any_sat m node =
+  if node.id = 0 then None
+  else begin
+    let assignment = Array.make m.n_vars false in
+    let rec walk id =
+      if id < 2 then ()
+      else begin
+        let v = m.var_of.(id) in
+        if m.high_of.(id) <> 0 then begin
+          assignment.(v) <- true;
+          walk m.high_of.(id)
+        end
+        else walk m.low_of.(id)
+      end
+    in
+    walk node.id;
+    Some assignment
+  end
+
+let eval node inputs =
+  let m = node.mgr in
+  let rec go id =
+    if id = 0 then false
+    else if id = 1 then true
+    else if inputs.(m.var_of.(id)) then go m.high_of.(id)
+    else go m.low_of.(id)
+  in
+  go node.id
+
+let of_netlist m nl =
+  let inputs = Netlist.inputs nl in
+  if List.length inputs <> m.n_vars then
+    invalid_arg "Bdd.of_netlist: input count does not match manager";
+  let values = Array.make (Netlist.size nl) 0 in
+  List.iteri (fun k id -> values.(id) <- (var m k).id) inputs;
+  let order = Netlist.topo_order nl in
+  Array.iter
+    (fun id ->
+      let f = Netlist.fanins nl id in
+      let v k = values.(f.(k)) in
+      let i n = { mgr = m; id = n } in
+      let result =
+        match Netlist.kind nl id with
+        | Netlist.Input -> values.(id)
+        | Const b -> if b then 1 else 0
+        | Buf | Output | Splitter _ -> v 0
+        | Not -> (bnot m (i (v 0))).id
+        | And -> (band m (i (v 0)) (i (v 1))).id
+        | Or -> (bor m (i (v 0)) (i (v 1))).id
+        | Nand -> (bnot m (band m (i (v 0)) (i (v 1)))).id
+        | Nor -> (bnot m (bor m (i (v 0)) (i (v 1)))).id
+        | Xor -> (bxor m (i (v 0)) (i (v 1))).id
+        | Xnor -> (bnot m (bxor m (i (v 0)) (i (v 1)))).id
+        | Maj -> (bmaj m (i (v 0)) (i (v 1)) (i (v 2))).id
+      in
+      values.(id) <- result)
+    order;
+  Array.of_list
+    (List.map (fun id -> { mgr = m; id = values.(id) }) (Netlist.outputs nl))
+
+type verdict = Equivalent | Different of bool array | Too_large
+
+let check_equivalence ?(max_nodes = 1_000_000) nl_a nl_b =
+  let ins_a = List.length (Netlist.inputs nl_a) in
+  let ins_b = List.length (Netlist.inputs nl_b) in
+  let outs_a = List.length (Netlist.outputs nl_a) in
+  let outs_b = List.length (Netlist.outputs nl_b) in
+  if ins_a <> ins_b || outs_a <> outs_b then Different [||]
+  else
+    try
+      let m = manager ~max_nodes ins_a in
+      let fa = of_netlist m nl_a in
+      let fb = of_netlist m nl_b in
+      let rec compare_outputs k =
+        if k >= Array.length fa then Equivalent
+        else if equal fa.(k) fb.(k) then compare_outputs (k + 1)
+        else
+          let diff = bxor m fa.(k) fb.(k) in
+          match any_sat m diff with
+          | Some cex -> Different cex
+          | None -> compare_outputs (k + 1)
+      in
+      compare_outputs 0
+    with Limit -> Too_large

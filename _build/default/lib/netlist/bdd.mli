@@ -1,0 +1,64 @@
+(** Reduced ordered binary decision diagrams, and formal combinational
+    equivalence checking built on them.
+
+    The synthesis stages' correctness oracle so far is simulation
+    ({!Sim.equivalent}: exhaustive to 14 inputs, sampled beyond). This
+    module adds a formal oracle: canonical ROBDDs make equivalence a
+    pointer comparison, and inequivalence yields a concrete
+    counterexample input vector. Node count is capped so pathological
+    orderings degrade into an explicit [`Too_large] instead of eating
+    the machine; callers fall back to simulation. *)
+
+type manager
+(** Hash-consed node store for one variable order. *)
+
+type node
+(** A BDD rooted in some manager. Physical equality = functional
+    equality for nodes of the same manager. *)
+
+exception Limit
+(** Raised when the manager exceeds its node budget. *)
+
+val manager : ?max_nodes:int -> int -> manager
+(** [manager n] for functions over [n] variables (order = index
+    order). [max_nodes] defaults to 1_000_000. *)
+
+val zero : manager -> node
+val one : manager -> node
+val var : manager -> int -> node
+
+val bnot : manager -> node -> node
+val band : manager -> node -> node -> node
+val bor : manager -> node -> node -> node
+val bxor : manager -> node -> node -> node
+val bmaj : manager -> node -> node -> node -> node
+
+val equal : node -> node -> bool
+(** Canonical, so this is [==]. *)
+
+val size : manager -> int
+(** Live nodes in the manager. *)
+
+val sat_count : manager -> node -> float
+(** Number of satisfying assignments (of the manager's [n] vars). *)
+
+val any_sat : manager -> node -> bool array option
+(** A satisfying assignment, or [None] for the zero function. *)
+
+val eval : node -> bool array -> bool
+
+val of_netlist : manager -> Netlist.t -> node array
+(** One BDD per primary output, inputs mapped to variables in
+    {!Netlist.inputs} order. Raises [Limit] if the budget trips and
+    [Invalid_argument] if input counts mismatch the manager. *)
+
+type verdict =
+  | Equivalent
+  | Different of bool array  (** a counterexample input vector *)
+  | Too_large  (** budget exceeded — fall back to simulation *)
+
+val check_equivalence : ?max_nodes:int -> Netlist.t -> Netlist.t -> verdict
+(** Formal equivalence of two netlists with matching input/output
+    arities (mismatched arities are [Different] with a zero vector
+    only when output counts differ — arity mismatch returns
+    [Different [||]]). *)

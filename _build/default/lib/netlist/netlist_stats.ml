@@ -1,0 +1,82 @@
+type t = {
+  nodes : int;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  gate_mix : (string * int) list;
+  depth : int;
+  width_per_level : int array;
+  width_max : int;
+  width_mean : float;
+  width_cv : float;
+  fanout_max : int;
+  fanout_mean : float;
+  fanout_histogram : (int * int) list;
+}
+
+let analyze nl =
+  let nl = Netlist.copy nl in
+  let depth = Netlist.levelize nl in
+  let mix : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let gates = ref 0 in
+  let widths = Array.make (depth + 1) 0 in
+  Netlist.iter nl (fun nd ->
+      match nd.Netlist.kind with
+      | Netlist.Output -> ()
+      | k ->
+          let level = nd.Netlist.phase in
+          if level >= 0 && level <= depth then widths.(level) <- widths.(level) + 1;
+          (match k with
+          | Netlist.Input -> ()
+          | _ ->
+              incr gates;
+              let name = Netlist.kind_name k in
+              Hashtbl.replace mix name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt mix name))));
+  let gate_mix =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let counts = Netlist.fanout_counts nl in
+  let fan_hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let fan_sum = ref 0 and fan_n = ref 0 and fan_max = ref 0 in
+  Netlist.iter nl (fun nd ->
+      match nd.Netlist.kind with
+      | Netlist.Output -> ()
+      | _ ->
+          let f = counts.(nd.Netlist.id) in
+          fan_sum := !fan_sum + f;
+          incr fan_n;
+          if f > !fan_max then fan_max := f;
+          Hashtbl.replace fan_hist f
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fan_hist f)));
+  let widths_f = Array.map float_of_int widths in
+  let mean = Stats.mean widths_f in
+  {
+    nodes = Netlist.size nl;
+    inputs = List.length (Netlist.inputs nl);
+    outputs = List.length (Netlist.outputs nl);
+    gates = !gates;
+    gate_mix;
+    depth;
+    width_per_level = widths;
+    width_max = Array.fold_left max 0 widths;
+    width_mean = mean;
+    width_cv = (if mean > 0.0 then Stats.stddev widths_f /. mean else 0.0);
+    fanout_max = !fan_max;
+    fanout_mean =
+      (if !fan_n = 0 then 0.0 else float_of_int !fan_sum /. float_of_int !fan_n);
+    fanout_histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) fan_hist []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>nodes %d (in %d, out %d, gates %d), depth %d@,"
+    s.nodes s.inputs s.outputs s.gates s.depth;
+  Format.fprintf ppf "levels: max %d, mean %.1f, cv %.2f@," s.width_max
+    s.width_mean s.width_cv;
+  Format.fprintf ppf "fanout: max %d, mean %.2f@," s.fanout_max s.fanout_mean;
+  Format.fprintf ppf "mix:";
+  List.iter (fun (k, n) -> Format.fprintf ppf " %s=%d" k n) s.gate_mix;
+  Format.fprintf ppf "@]"

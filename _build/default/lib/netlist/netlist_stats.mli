@@ -1,0 +1,27 @@
+(** Structural netlist analyses: the numbers a synthesis engineer
+    looks at before blaming the placer — gate mix, logic-depth
+    profile, fan-out distribution, and how evenly the pipeline's
+    phases are populated (AQFP-specific: row-width variance is what
+    stretches placements). *)
+
+type t = {
+  nodes : int;
+  inputs : int;
+  outputs : int;
+  gates : int;  (** logic cells (everything but IO markers) *)
+  gate_mix : (string * int) list;  (** kind name → count, descending *)
+  depth : int;  (** longest input-to-output path, in levels *)
+  width_per_level : int array;  (** nodes at each level *)
+  width_max : int;
+  width_mean : float;
+  width_cv : float;  (** coefficient of variation of level widths —
+      high values predict placement stretch *)
+  fanout_max : int;
+  fanout_mean : float;
+  fanout_histogram : (int * int) list;  (** fan-out value → node count *)
+}
+
+val analyze : Netlist.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,83 @@
+let word_bits = 62
+
+let eval_words nl input_words =
+  let inputs = Netlist.inputs nl in
+  if List.length inputs <> Array.length input_words then
+    invalid_arg "Sim.eval_words: input arity mismatch";
+  let values = Array.make (Netlist.size nl) 0 in
+  List.iteri (fun i id -> values.(id) <- input_words.(i)) inputs;
+  let order = Netlist.topo_order nl in
+  let mask = (1 lsl word_bits) - 1 in
+  Array.iter
+    (fun id ->
+      let f = Netlist.fanins nl id in
+      let v k = values.(f.(k)) in
+      let result =
+        match Netlist.kind nl id with
+        | Netlist.Input -> values.(id)
+        | Const b -> if b then mask else 0
+        | Buf | Output | Splitter _ -> v 0
+        | Not -> lnot (v 0) land mask
+        | And -> v 0 land v 1
+        | Or -> v 0 lor v 1
+        | Nand -> lnot (v 0 land v 1) land mask
+        | Nor -> lnot (v 0 lor v 1) land mask
+        | Xor -> v 0 lxor v 1
+        | Xnor -> lnot (v 0 lxor v 1) land mask
+        | Maj -> (v 0 land v 1) lor (v 0 land v 2) lor (v 1 land v 2)
+      in
+      values.(id) <- result)
+    order;
+  Array.of_list (List.map (fun id -> values.(id)) (Netlist.outputs nl))
+
+let eval nl inputs =
+  let words = Array.map (fun b -> if b then 1 else 0) inputs in
+  Array.map (fun w -> w land 1 = 1) (eval_words nl words)
+
+let signature ?(vectors = 256) ?(seed = 42) nl =
+  let rng = Rng.create seed in
+  let n_in = List.length (Netlist.inputs nl) in
+  let rounds = (vectors + word_bits - 1) / word_bits in
+  let acc = ref [] in
+  for _ = 1 to rounds do
+    let input_words =
+      Array.init n_in (fun _ ->
+          Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 2))
+    in
+    let outs = eval_words nl input_words in
+    acc := Array.to_list outs @ !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let exhaustive_equal nl_a nl_b n_in =
+  (* Pack assignments bit-parallel: var k's word alternates in blocks
+     of 2^k, exactly like Truth.var but spread across several rounds
+     when 2^n exceeds the word size. *)
+  let total = 1 lsl n_in in
+  let ok = ref true in
+  let base = ref 0 in
+  while !ok && !base < total do
+    let chunk = min word_bits (total - !base) in
+    let words =
+      Array.init n_in (fun k ->
+          let w = ref 0 in
+          for b = 0 to chunk - 1 do
+            if ((!base + b) lsr k) land 1 = 1 then w := !w lor (1 lsl b)
+          done;
+          !w)
+    in
+    let mask = (1 lsl chunk) - 1 in
+    let oa = eval_words nl_a words and ob = eval_words nl_b words in
+    Array.iteri (fun i wa -> if wa land mask <> ob.(i) land mask then ok := false) oa;
+    base := !base + chunk
+  done;
+  !ok
+
+let equivalent ?(vectors = 512) ?(seed = 42) nl_a nl_b =
+  let ins_a = List.length (Netlist.inputs nl_a) in
+  let ins_b = List.length (Netlist.inputs nl_b) in
+  let outs_a = List.length (Netlist.outputs nl_a) in
+  let outs_b = List.length (Netlist.outputs nl_b) in
+  if ins_a <> ins_b || outs_a <> outs_b then false
+  else if ins_a <= 14 then exhaustive_equal nl_a nl_b ins_a
+  else signature ~vectors ~seed nl_a = signature ~vectors ~seed nl_b

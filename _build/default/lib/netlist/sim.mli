@@ -1,0 +1,25 @@
+(** Netlist simulation.
+
+    Bit-parallel evaluation: each node carries a 62-bit word, so one
+    pass simulates up to 62 input vectors. The synthesis stages use
+    [equivalent] as their functional-correctness oracle (the converted
+    and buffered netlists must compute the same outputs as the AOI
+    input for every sampled vector). *)
+
+val eval : Netlist.t -> bool array -> bool array
+(** [eval nl inputs] — single-vector simulation. [inputs] are in
+    {!Netlist.inputs} order; the result is in {!Netlist.outputs}
+    order. *)
+
+val eval_words : Netlist.t -> int array -> int array
+(** Bit-parallel variant: each input is a word of vectors. *)
+
+val signature : ?vectors:int -> ?seed:int -> Netlist.t -> int array
+(** Output response to a deterministic pseudo-random stimulus set
+    ([vectors] defaults to 256). Two netlists with the same
+    input/output arity and the same signature agree on every sampled
+    vector. *)
+
+val equivalent : ?vectors:int -> ?seed:int -> Netlist.t -> Netlist.t -> bool
+(** Random-simulation equivalence over matching input/output counts.
+    Also does exhaustive comparison when the input count is <= 14. *)

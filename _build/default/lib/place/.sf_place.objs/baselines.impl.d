@@ -1,0 +1,1 @@
+lib/place/baselines.ml: Array Cell Clocking Detailed Float Global Legalize Problem Quadratic Stats

@@ -1,0 +1,1 @@
+lib/place/baselines.mli: Problem

@@ -1,0 +1,1 @@
+lib/place/bufferline.ml: Array Float Hashtbl Legalize List Netlist Problem Tech

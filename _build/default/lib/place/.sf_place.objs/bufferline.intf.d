@@ -1,0 +1,1 @@
+lib/place/bufferline.mli: Netlist Problem

@@ -1,0 +1,1 @@
+lib/place/detailed.ml: Array Cell Clocking Float List Problem Tech

@@ -1,0 +1,1 @@
+lib/place/detailed.mli: Problem

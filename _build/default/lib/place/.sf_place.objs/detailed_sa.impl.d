@@ -1,0 +1,1 @@
+lib/place/detailed_sa.ml: Array Cell Float List Place_cost Problem Rng Tech

@@ -1,0 +1,1 @@
+lib/place/detailed_sa.mli: Place_cost Problem

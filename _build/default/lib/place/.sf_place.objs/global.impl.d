@@ -1,0 +1,1 @@
+lib/place/global.ml: Array Cell Float Format Legalize List Problem Quadratic Rng Tech Wa_model

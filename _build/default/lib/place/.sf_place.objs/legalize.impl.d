@@ -1,0 +1,1 @@
+lib/place/legalize.ml: Array Cell Float List Problem Tech

@@ -1,0 +1,1 @@
+lib/place/place_cost.ml: Array Cell Clocking Float Problem Tech

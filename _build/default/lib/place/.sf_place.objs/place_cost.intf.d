@@ -1,0 +1,1 @@
+lib/place/place_cost.mli: Problem

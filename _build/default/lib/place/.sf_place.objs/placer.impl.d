@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Baselines Cell Detailed Float Format Global Legalize List Problem Row_dp Sys Tech

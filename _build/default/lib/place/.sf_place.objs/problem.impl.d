@@ -1,0 +1,1 @@
+lib/place/problem.ml: Array Cell Clocking Float Format List Netlist Option Printf String Tech

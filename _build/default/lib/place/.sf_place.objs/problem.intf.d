@@ -1,0 +1,1 @@
+lib/place/problem.mli: Cell Format Netlist Tech

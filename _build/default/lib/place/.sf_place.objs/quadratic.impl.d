@@ -1,0 +1,1 @@
+lib/place/quadratic.ml: Array Cell Float Problem

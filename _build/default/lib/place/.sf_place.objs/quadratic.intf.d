@@ -1,0 +1,1 @@
+lib/place/quadratic.mli: Problem

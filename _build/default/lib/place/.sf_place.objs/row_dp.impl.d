@@ -1,0 +1,1 @@
+lib/place/row_dp.ml: Array Cell Float List Problem Tech

@@ -1,0 +1,1 @@
+lib/place/row_dp.mli: Problem

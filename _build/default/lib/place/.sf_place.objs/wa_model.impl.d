@@ -1,0 +1,1 @@
+lib/place/wa_model.ml: Array Cell Float Problem Tech

@@ -1,0 +1,1 @@
+lib/place/wa_model.mli: Problem Tech

@@ -1,0 +1,105 @@
+let insert nl p =
+  let tech = p.Problem.tech in
+  let n_rows = p.Problem.n_rows in
+  (* buffer lines needed below each row *)
+  let lines = Array.make (max 1 (n_rows - 1)) 0 in
+  (* every hop of a split connection still crosses one full row pitch
+     vertically, so the horizontal budget per hop is w_max minus the
+     pitch (plus one grid of legalization slack) *)
+  let hop_pitch = p.Problem.row_height +. tech.Tech.row_gap in
+  let budget = Float.max tech.Tech.grid (tech.Tech.w_max -. hop_pitch -. tech.Tech.grid) in
+  Array.iter
+    (fun e ->
+      let r = p.Problem.cells.(e.Problem.src).Problem.row in
+      if r < Array.length lines && Problem.net_length p e > tech.Tech.w_max then begin
+        let hdx = Float.abs (Problem.net_dx p e) in
+        let need = max 1 (int_of_float (ceil (hdx /. budget)) - 1) in
+        if need > lines.(r) then lines.(r) <- need
+      end)
+    p.Problem.nets;
+  let total = Array.fold_left ( + ) 0 lines in
+  if total = 0 then (nl, p, 0)
+  else begin
+    (* row shift: new row index of an old row *)
+    let shift = Array.make (n_rows + 1) 0 in
+    for r = 1 to n_rows do
+      shift.(r) <- shift.(r - 1) + if r - 1 < Array.length lines then lines.(r - 1) else 0
+    done;
+    let new_row old_row = old_row + shift.(old_row) in
+    (* rebuild netlist with buffer chains; remember each new node's x *)
+    let nl2 = Netlist.create () in
+    let id_map = Array.make (Netlist.size nl) (-1) in
+    let node_x : (int, float) Hashtbl.t = Hashtbl.create 256 in
+    (* cell positions by originating node *)
+    let x_of_node = Array.make (Netlist.size nl) 0.0 in
+    Array.iter
+      (fun c -> x_of_node.(c.Problem.node) <- c.Problem.x)
+      p.Problem.cells;
+    (* primary inputs first, in their original order *)
+    List.iter
+      (fun iid ->
+        let nd = Netlist.node nl iid in
+        let id = Netlist.add nl2 ?name:nd.Netlist.name Netlist.Input [||] in
+        Netlist.set_phase nl2 id (new_row nd.Netlist.phase);
+        Hashtbl.replace node_x id x_of_node.(iid);
+        id_map.(iid) <- id)
+      (Netlist.inputs nl);
+    let rebuffered_fanins old_id nd =
+      Array.map
+        (fun u ->
+          let u_row = Netlist.phase nl u in
+              (* edges cross the gap below the source's cell row *)
+              let gap = u_row in
+              let need = if gap < Array.length lines then lines.(gap) else 0 in
+              let src_new = id_map.(u) in
+              if need = 0 then src_new
+              else begin
+                let x_u = x_of_node.(u) in
+                let x_v = x_of_node.(old_id) in
+                let cur = ref src_new in
+                for j = 1 to need do
+                  let b = Netlist.add nl2 Netlist.Buf [| !cur |] in
+                  let frac = float_of_int j /. float_of_int (need + 1) in
+                  Hashtbl.replace node_x b
+                    (Tech.snap tech (x_u +. (frac *. (x_v -. x_u))));
+                  Netlist.set_phase nl2 b (Netlist.phase nl2 !cur + 1);
+                  cur := b
+                done;
+                !cur
+              end)
+        nd.Netlist.fanins
+    in
+    let order = Netlist.topo_order nl in
+    Array.iter
+      (fun old_id ->
+        let nd = Netlist.node nl old_id in
+        match nd.Netlist.kind with
+        | Netlist.Input | Netlist.Output -> () (* handled separately *)
+        | kind ->
+            let fanins = rebuffered_fanins old_id nd in
+            let id = Netlist.add nl2 ?name:nd.Netlist.name kind fanins in
+            Netlist.set_phase nl2 id (new_row nd.Netlist.phase);
+            Hashtbl.replace node_x id x_of_node.(old_id);
+            id_map.(old_id) <- id)
+      order;
+    (* primary outputs last, in their original order; markers mirror
+       their (possibly re-buffered) driver's phase *)
+    List.iter
+      (fun oid ->
+        let nd = Netlist.node nl oid in
+        let fanins = rebuffered_fanins oid nd in
+        let id = Netlist.add nl2 ?name:nd.Netlist.name Netlist.Output fanins in
+        Netlist.set_phase nl2 id (Netlist.phase nl2 fanins.(0));
+        Hashtbl.replace node_x id x_of_node.(oid);
+        id_map.(oid) <- id)
+      (Netlist.outputs nl);
+    let p2 = Problem.of_netlist tech nl2 in
+    Array.iter
+      (fun c ->
+        match Hashtbl.find_opt node_x c.Problem.node with
+        | Some x -> c.Problem.x <- x
+        | None -> ())
+      p2.Problem.cells;
+    Legalize.run p2;
+    (nl2, p2, total)
+  end

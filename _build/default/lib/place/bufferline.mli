@@ -1,0 +1,20 @@
+(** Max-wirelength buffer-line insertion (paper §II-C(ii)).
+
+    When a placed connection exceeds W_max, AQFP requires an entire
+    row of buffers between the two clock phases (a partial row would
+    unbalance the pipeline: inserting a full row adds exactly one
+    phase to {e every} path, preserving balance). This module performs
+    the insertion for real: for every row gap whose longest crossing
+    net needs k = ceil(Lmax / w_max) - 1 intermediate hops, each net
+    crossing that gap is re-threaded through a chain of k buffers
+    living in k new rows.
+
+    The returned problem keeps the old cells at their placed
+    positions (rows renumbered); the new buffers start at the midpoint
+    of their connection and the new rows are legalized. *)
+
+val insert : Netlist.t -> Problem.t -> Netlist.t * Problem.t * int
+(** [insert nl placed] — [nl] must be the netlist [placed] was built
+    from. Returns the expanded netlist, a placed problem for it, and
+    the number of buffer lines inserted (0 returns fresh copies of
+    the inputs' current state). *)

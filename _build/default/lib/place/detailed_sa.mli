@@ -1,0 +1,30 @@
+(** Simulated-annealing detailed placement.
+
+    A third refinement strategy next to the greedy swap search
+    ({!Detailed}) and the exact per-row DP ({!Row_dp}): Metropolis
+    moves (random slides within a cell's free slot and random
+    same-row swaps, mixed-size allowed) under a geometric cooling
+    schedule, with the same cost model ({!Place_cost}).
+
+    Annealing can escape the local optima the greedy search settles
+    into, at the price of runtime and non-monotone intermediate
+    states; the bench's placement ablation compares the three. The
+    final state is the best legal state visited, so the result never
+    regresses the input. *)
+
+type options = {
+  sweeps : int;  (** moves per cell per temperature step *)
+  t_steps : int;  (** temperature steps *)
+  t_start_frac : float;  (** initial temperature as a fraction of the
+      mean |net cost| — scale-free across designs *)
+  cooling : float;  (** geometric decay per step *)
+  weights : Place_cost.weights;
+  seed : int;
+}
+
+val default_options : options
+
+val run : ?options:options -> Problem.t -> int
+(** Anneal in place; returns accepted moves. Requires and preserves
+    legality; the returned placement is the best state encountered
+    (never worse than the input under {!Place_cost.total}). *)

@@ -1,0 +1,69 @@
+(* Abacus-style row legalization: cells keep the left-to-right order
+   of their (continuous) positions; overlapping runs are merged into
+   clusters whose placement minimizes the total squared displacement
+   (the optimal cluster start is the mean of desired-start values).
+   Because every cell width is a multiple of the 10 µm grid and
+   cluster starts are snapped to it, inter-cell gaps are grid
+   multiples, which makes the AQFP "abut or >= s_min" spacing rule
+   hold automatically whenever s_min equals the grid pitch. *)
+
+type cluster = {
+  mutable q : float; (* optimal (continuous) start *)
+  mutable w : float; (* total width *)
+  mutable sum : float; (* sum of (desired - offset-in-cluster) *)
+  mutable n : int;
+  mutable members : int list; (* cell indices, reversed *)
+}
+
+let legalize_row p r =
+  let tech = p.Problem.tech in
+  let order = Array.copy p.Problem.row_cells.(r) in
+  Array.sort
+    (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
+    order;
+  let clusters : cluster list ref = ref [] in
+  let rec merge_overlaps = function
+    | c2 :: c1 :: rest when c1.q +. c1.w > c2.q ->
+        (* c1 is left of c2 in the row; absorb c2 into c1 *)
+        c1.sum <- c1.sum +. c2.sum -. (float_of_int c2.n *. c1.w);
+        c1.n <- c1.n + c2.n;
+        c1.members <- c2.members @ c1.members;
+        c1.w <- c1.w +. c2.w;
+        c1.q <- c1.sum /. float_of_int c1.n;
+        if c1.q < 0.0 then c1.q <- 0.0;
+        merge_overlaps (c1 :: rest)
+    | cs -> cs
+  in
+  Array.iter
+    (fun ci ->
+      let c = p.Problem.cells.(ci) in
+      let cluster =
+        {
+          q = Float.max 0.0 c.Problem.x;
+          w = c.Problem.lib.Cell.width;
+          sum = c.Problem.x;
+          n = 1;
+          members = [ ci ];
+        }
+      in
+      clusters := merge_overlaps (cluster :: !clusters))
+    order;
+  (* emit left to right, snapping starts to the grid *)
+  let cursor = ref 0.0 in
+  List.iter
+    (fun cl ->
+      let start = Float.max !cursor (Float.max 0.0 (Tech.snap tech cl.q)) in
+      let x = ref start in
+      List.iter
+        (fun ci ->
+          let c = p.Problem.cells.(ci) in
+          c.Problem.x <- !x;
+          x := !x +. c.Problem.lib.Cell.width)
+        (List.rev cl.members);
+      cursor := !x)
+    (List.rev !clusters)
+
+let run p =
+  for r = 0 to p.Problem.n_rows - 1 do
+    legalize_row p r
+  done

@@ -1,0 +1,17 @@
+(** Tetris-like row legalization (paper §III-C2).
+
+    Cells keep their row; within each row they are sorted by their
+    (continuous) global-placement position and packed left to right on
+    the manufacturing grid, preserving relative order and enforcing
+    the AQFP spacing rule: two horizontal neighbors either abut
+    exactly or keep at least [s_min]. Positions only ever move right
+    of the running cursor, so the result is overlap-free by
+    construction. Dead space the greedy sweep introduces is later
+    recovered by detailed placement's shift moves. *)
+
+val run : Problem.t -> unit
+(** Legalize in place. Postcondition: [Problem.check_legal] holds. *)
+
+val legalize_row : Problem.t -> int -> unit
+(** Legalize a single row (used by detailed placement to repair a row
+    after an aggressive move). *)

@@ -1,0 +1,110 @@
+type weights = {
+  lambda_t : float;
+  lambda_w : float;
+  lambda_d : float;
+  gamma : float;
+  alpha : float;
+}
+
+let default_weights tech =
+  {
+    lambda_t = 1.0;
+    lambda_w = 1.0;
+    lambda_d = 1.0;
+    gamma = 2.0 *. tech.Tech.grid;
+    alpha = 2.0;
+  }
+
+let src_pin_x p e xs =
+  let c = p.Problem.cells.(e.Problem.src) in
+  xs.(e.Problem.src) +. c.Problem.lib.Cell.out_pins.(e.Problem.src_pin)
+
+let dst_pin_x p e xs =
+  let c = p.Problem.cells.(e.Problem.dst) in
+  let pins = c.Problem.lib.Cell.in_pins in
+  xs.(e.Problem.dst) +. pins.(e.Problem.dst_pin mod Array.length pins)
+
+(* Smooth two-pin |b - a| via the WA estimator, with d/da and d/db.
+   For two pins the WA max/min expressions reduce to logistic blends. *)
+let wa_abs gamma a b =
+  let d = b -. a in
+  (* max ~ (a e^{a/g} + b e^{b/g}) / (e^{a/g} + e^{b/g}); organize via
+     the difference to stay numerically stable. *)
+  let s = 1.0 /. (1.0 +. exp (-.d /. gamma)) in
+  (* s = sigma(d/gamma); wa_max = a + d*s ; wa_min = a + d*(1-s) *)
+  let value = d *. (2.0 *. s -. 1.0) in
+  (* d(value)/dd = (2s - 1) + 2 d s(1-s)/gamma *)
+  let dvalue_dd = (2.0 *. s -. 1.0) +. (2.0 *. d *. s *. (1.0 -. s) /. gamma) in
+  (value, -.dvalue_dd, dvalue_dd)
+
+let wa_wirelength p ~gamma xs =
+  Array.fold_left
+    (fun acc e ->
+      let xa = src_pin_x p e xs and xb = dst_pin_x p e xs in
+      let v, _, _ = wa_abs gamma xa xb in
+      acc +. v)
+    0.0 p.Problem.nets
+
+let timing_base phase ~row_width ~xs_pin ~xd_pin =
+  (* Eq. (2) base and its (d/dxs, d/dxd) *)
+  match ((phase mod 4) + 4) mod 4 with
+  | 0 -> (xd_pin -. xs_pin, -1.0, 1.0)
+  | 1 -> (xd_pin +. xs_pin, 1.0, 1.0)
+  | 2 -> (-.xd_pin +. xs_pin, 1.0, -1.0)
+  | 3 -> ((2.0 *. row_width) -. xd_pin -. xs_pin, -1.0, -1.0)
+  | _ -> assert false
+
+let cost_and_grad p w xs =
+  let n = Array.length xs in
+  let grad = Array.make n 0.0 in
+  let cost = ref 0.0 in
+  let row_width = Problem.row_width p in
+  (* wirelength + timing + max-wirelength, per net *)
+  Array.iter
+    (fun e ->
+      let xa = src_pin_x p e xs and xb = dst_pin_x p e xs in
+      let v, dva, dvb = wa_abs w.gamma xa xb in
+      cost := !cost +. v;
+      grad.(e.Problem.src) <- grad.(e.Problem.src) +. dva;
+      grad.(e.Problem.dst) <- grad.(e.Problem.dst) +. dvb;
+      (* timing *)
+      let phase = p.Problem.cells.(e.Problem.src).Problem.row in
+      let base, dbs, dbd = timing_base phase ~row_width ~xs_pin:xa ~xd_pin:xb in
+      if base > 0.0 then begin
+        let t = base ** w.alpha in
+        let dt = w.alpha *. (base ** (w.alpha -. 1.0)) in
+        cost := !cost +. (w.lambda_t *. t);
+        grad.(e.Problem.src) <- grad.(e.Problem.src) +. (w.lambda_t *. dt *. dbs);
+        grad.(e.Problem.dst) <- grad.(e.Problem.dst) +. (w.lambda_t *. dt *. dbd)
+      end;
+      (* max-wirelength penalty on |dx| + dy *)
+      let dy = Problem.net_dy p e in
+      let len = Float.abs (xb -. xa) +. dy in
+      let excess = len -. p.Problem.tech.Tech.w_max in
+      if excess > 0.0 then begin
+        cost := !cost +. (w.lambda_w *. excess *. excess);
+        let sign = if xb >= xa then 1.0 else -1.0 in
+        let d = 2.0 *. w.lambda_w *. excess in
+        grad.(e.Problem.src) <- grad.(e.Problem.src) -. (d *. sign);
+        grad.(e.Problem.dst) <- grad.(e.Problem.dst) +. (d *. sign)
+      end)
+    p.Problem.nets;
+  (* row-density: quadratic penalty on pairwise overlap of row
+     neighbors (by current order in xs) *)
+  Array.iter
+    (fun row ->
+      let order = Array.copy row in
+      Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+      for i = 0 to Array.length order - 2 do
+        let a = order.(i) and b = order.(i + 1) in
+        let wa_ = p.Problem.cells.(a).Problem.lib.Cell.width in
+        let olap = xs.(a) +. wa_ -. xs.(b) in
+        if olap > 0.0 then begin
+          cost := !cost +. (w.lambda_d *. olap *. olap);
+          let d = 2.0 *. w.lambda_d *. olap in
+          grad.(a) <- grad.(a) +. d;
+          grad.(b) <- grad.(b) -. d
+        end
+      done)
+    p.Problem.row_cells;
+  (!cost, grad)

@@ -1,0 +1,1 @@
+lib/route/congestion.ml: Array Float List Problem Table Tech

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Cell Float Hashtbl List Option Pqueue Printf Problem String Sys Tech

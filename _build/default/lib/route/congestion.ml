@@ -1,0 +1,77 @@
+(* Channel density by sweep line: +1 at each net's left pin x, -1 just
+   after its right pin x; the running maximum is the density. *)
+let channel_density p r =
+  let events = ref [] in
+  Array.iteri
+    (fun ni e ->
+      if p.Problem.cells.(e.Problem.src).Problem.row = r then begin
+        let xs = Problem.pin_x p ni `Src and xd = Problem.pin_x p ni `Dst in
+        let lo = Float.min xs xd and hi = Float.max xs xd in
+        events := (lo, 1) :: (hi +. 1e-6, -1) :: !events
+      end)
+    p.Problem.nets;
+  let sorted =
+    List.sort
+      (fun (x1, d1) (x2, d2) ->
+        match compare x1 x2 with 0 -> compare d1 d2 | c -> c)
+      !events
+  in
+  let cur = ref 0 and best = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      cur := !cur + d;
+      if !cur > !best then best := !cur)
+    sorted;
+  !best
+
+let densities p =
+  Array.init (max 0 (p.Problem.n_rows - 1)) (fun r -> channel_density p r)
+
+(* A gap of height g offers about g / grid - 1 horizontal tracks (the
+   boundary lines are reserved for pins and the previous pair). *)
+let tracks_of_gap p r =
+  let grid = p.Problem.tech.Tech.grid in
+  max 0 (int_of_float (p.Problem.row_gaps.(r) /. grid) - 1)
+
+let preexpand ?(slack_tracks = 0) ?(demand_factor = 0.85) p =
+  let tech = p.Problem.tech in
+  let widened = ref 0 in
+  Array.iteri
+    (fun r density ->
+      (* channel density is a worst-case bound; most nets share tracks
+         over disjoint x-ranges, so provision a fraction of it and let
+         the router's reactive expansion absorb the remainder *)
+      let need =
+        int_of_float (ceil (demand_factor *. float_of_int density)) + slack_tracks
+      in
+      let have = tracks_of_gap p r in
+      if need > have then begin
+        p.Problem.row_gaps.(r) <-
+          p.Problem.row_gaps.(r)
+          +. (float_of_int (need - have) *. tech.Tech.grid);
+        incr widened
+      end)
+    (densities p);
+  !widened
+
+let report p =
+  let t = Table.create ~headers:[ "gap"; "nets"; "density"; "tracks"; "status" ] in
+  let counts = Array.make (max 1 (p.Problem.n_rows - 1)) 0 in
+  Array.iter
+    (fun e ->
+      let r = p.Problem.cells.(e.Problem.src).Problem.row in
+      if r < Array.length counts then counts.(r) <- counts.(r) + 1)
+    p.Problem.nets;
+  Array.iteri
+    (fun r density ->
+      let tracks = tracks_of_gap p r in
+      Table.add_row t
+        [
+          string_of_int r;
+          string_of_int counts.(r);
+          string_of_int density;
+          string_of_int tracks;
+          (if tracks >= density then "ok" else "tight");
+        ])
+    (densities p);
+  Table.render t

@@ -1,0 +1,629 @@
+type route = {
+  net : int;
+  points : (float * float) list;
+  vias : int;
+  length : float;
+}
+
+type result = {
+  routes : route array;
+  expansions : int;
+  wirelength : float;
+  total_vias : int;
+  runtime_s : float;
+}
+
+exception Unroutable of int
+
+(* Directions: 0 = horizontal arrival, 1 = vertical arrival. *)
+let dir_h = 0
+let dir_v = 1
+
+type pair_grid = {
+  nx : int;
+  ny : int;
+  grid : float;
+  x0 : float;
+  y0 : float;
+  blocked : bool array; (* nodes, nx*ny *)
+  blocked_h : bool array; (* nodes where horizontal runs are forbidden
+                             (cell pin edges, region boundaries) *)
+  h_owner : int array; (* edge (ix,iy)-(ix+1,iy) *)
+  v_owner : int array; (* edge (ix,iy)-(ix,iy+1) *)
+  node_h : int array; (* node used by a horizontal run of net i *)
+  node_v : int array;
+}
+
+let make_grid p r ~margin =
+  let tech = p.Problem.tech in
+  let grid = tech.Tech.grid in
+  let y0 = Problem.row_top p r in
+  let y1 = Problem.row_top p (r + 1) in
+  let width = Problem.row_width p +. margin in
+  let nx = (int_of_float (width /. grid)) + 1 in
+  let ny = (int_of_float ((y1 -. y0) /. grid +. 0.5)) + 1 in
+  let g =
+    {
+      nx;
+      ny;
+      grid;
+      x0 = 0.0;
+      y0;
+      blocked = Array.make (nx * ny) false;
+      blocked_h = Array.make (nx * ny) false;
+      h_owner = Array.make (nx * ny) (-1);
+      v_owner = Array.make (nx * ny) (-1);
+      node_h = Array.make (nx * ny) (-1);
+      node_v = Array.make (nx * ny) (-1);
+    }
+  in
+  (* row r's top line belongs to the previous pair; block it. The
+     bottom boundary holds the sink pins: vertical arrival only. *)
+  for ix = 0 to nx - 1 do
+    g.blocked.(ix) <- true;
+    g.blocked_h.(((ny - 1) * nx) + ix) <- true
+  done;
+  (* cell bodies of row r: closed in x (wires keep a full pitch away
+     laterally), open in y (pins on the bottom edge stay reachable). *)
+  Array.iter
+    (fun ci ->
+      let c = p.Problem.cells.(ci) in
+      let lx = int_of_float (c.Problem.x /. grid +. 0.5) in
+      let hx = int_of_float ((c.Problem.x +. c.Problem.lib.Cell.width) /. grid +. 0.5) in
+      let hy = int_of_float (c.Problem.lib.Cell.height /. grid +. 0.5) in
+      for ix = max 0 lx to min (nx - 1) hx do
+        for iy = 1 to min (ny - 1) (hy - 1) do
+          g.blocked.((iy * nx) + ix) <- true
+        done;
+        (* the cell's bottom edge carries its output pins: no
+           horizontal runs across it *)
+        if hy <= ny - 1 then g.blocked_h.((hy * nx) + ix) <- true
+      done)
+    p.Problem.row_cells.(r);
+  g
+
+let node_index g ix iy = (iy * g.nx) + ix
+
+(* A* for one net on the pair grid. Returns the node path (goal
+   first). *)
+let astar g ~via_cost ~net ~sx ~sy ~gx ~gy =
+  let nx = g.nx and ny = g.ny in
+  let n_states = nx * ny * 2 in
+  let dist = Array.make n_states infinity in
+  let parent = Array.make n_states (-1) in
+  let queue = Pqueue.create () in
+  let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
+  let heuristic ix iy =
+    g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy))
+  in
+  let passable_edge owner idx = owner.(idx) = -1 || owner.(idx) = net in
+  let passable_node layer idx = layer.(idx) = -1 || layer.(idx) = net in
+  (* first move is forced downward out of the source pin *)
+  if sy + 1 < ny then begin
+    let vidx = node_index g sx sy in
+    if
+      passable_edge g.v_owner vidx
+      && (not g.blocked.(node_index g sx (sy + 1)))
+      && passable_node g.node_v (node_index g sx (sy + 1))
+    then begin
+      let s = state sx (sy + 1) dir_v in
+      dist.(s) <- g.grid;
+      parent.(s) <- -2;
+      Pqueue.push queue (g.grid +. heuristic sx (sy + 1)) s
+    end
+  end;
+  let goal_state = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop queue with
+    | None -> continue := false
+    | Some (prio, s) ->
+        let d = dist.(s) in
+        if prio -. heuristic ((s / 2) mod nx) (s / 2 / nx) <= d +. 1e-9 then begin
+          let node = s / 2 in
+          let dir = s land 1 in
+          let ix = node mod nx and iy = node / nx in
+          if ix = gx && iy = gy && dir = dir_v then begin
+            goal_state := s;
+            continue := false
+          end
+          else begin
+            let try_move nix niy ndir edge_owner edge_idx node_layer =
+              if nix >= 0 && nix < nx && niy >= 0 && niy < ny then begin
+                let nnode = node_index g nix niy in
+                (* the goal node is exempt from the blocked test (it
+                   sits on the region boundary anyway); a run claims
+                   both of an edge's endpoints on its layer, so check
+                   the departing node too *)
+                let node_ok =
+                  ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
+                  && passable_node node_layer nnode
+                  && passable_node node_layer (node_index g ix iy)
+                in
+                if node_ok && passable_edge edge_owner edge_idx then begin
+                  let turn = if dir <> ndir then via_cost else 0.0 in
+                  let nd = d +. g.grid +. turn in
+                  let ns = state nix niy ndir in
+                  if nd < dist.(ns) -. 1e-9 then begin
+                    dist.(ns) <- nd;
+                    parent.(ns) <- s;
+                    Pqueue.push queue (nd +. heuristic nix niy) ns
+                  end
+                end
+              end
+            in
+            (* right *)
+            if not (g.blocked_h.(node_index g ix iy) || (ix + 1 < nx && g.blocked_h.(node_index g (ix + 1) iy))) then
+              try_move (ix + 1) iy dir_h g.h_owner (node_index g ix iy) g.node_h;
+            (* left *)
+            if ix > 0
+               && not (g.blocked_h.(node_index g ix iy) || g.blocked_h.(node_index g (ix - 1) iy))
+            then
+              try_move (ix - 1) iy dir_h g.h_owner (node_index g (ix - 1) iy) g.node_h;
+            (* down *)
+            try_move ix (iy + 1) dir_v g.v_owner (node_index g ix iy) g.node_v;
+            (* up *)
+            if iy > 0 then
+              try_move ix (iy - 1) dir_v g.v_owner (node_index g ix (iy - 1)) g.node_v
+          end
+        end
+  done;
+  if !goal_state < 0 then None
+  else begin
+    (* reconstruct: list of (ix, iy, dir) from goal back to source *)
+    let rec walk s acc =
+      if s = -2 then acc
+      else
+        let node = s / 2 in
+        let ix = node mod nx and iy = node / nx in
+        walk parent.(s) ((ix, iy, s land 1) :: acc)
+    in
+    let path = walk !goal_state [] in
+    Some ((sx, sy, dir_v) :: path)
+  end
+
+(* Commit a routed path: claim edges and per-layer nodes. *)
+let commit g ~net path =
+  let rec claim = function
+    | (x1, y1, _) :: ((x2, y2, dir) :: _ as rest) ->
+        if dir = dir_h then begin
+          let ex = min x1 x2 in
+          g.h_owner.(node_index g ex y1) <- net;
+          g.node_h.(node_index g x1 y1) <- net;
+          g.node_h.(node_index g x2 y2) <- net
+        end
+        else begin
+          let ey = min y1 y2 in
+          g.v_owner.((ey * g.nx) + x1) <- net;
+          g.node_v.(node_index g x1 y1) <- net;
+          g.node_v.(node_index g x2 y2) <- net
+        end;
+        claim rest
+    | _ -> ()
+  in
+  claim path
+
+let path_to_route g ~net path =
+  let coords =
+    List.map (fun (ix, iy, _) -> (g.x0 +. (float_of_int ix *. g.grid), g.y0 +. (float_of_int iy *. g.grid))) path
+  in
+  (* keep corners only *)
+  let rec simplify = function
+    | (x1, y1) :: (x2, y2) :: (x3, y3) :: rest
+      when (x1 = x2 && x2 = x3) || (y1 = y2 && y2 = y3) ->
+        simplify ((x1, y1) :: (x3, y3) :: rest)
+    | p :: rest -> p :: simplify rest
+    | [] -> []
+  in
+  let points = simplify coords in
+  let length = g.grid *. float_of_int (List.length path - 1) in
+  let vias = max 0 (List.length points - 2) in
+  { net; points; vias; length }
+
+(* ---- negotiated-congestion (PathFinder-style) pair routing ----
+
+   Alternative to the first-come-first-served claiming above: every
+   iteration routes all nets with shared resources allowed but priced
+   (present-sharing cost that grows per round + accumulated history),
+   until every edge and node-layer slot has a single tenant. Pin
+   reservations stay hard. *)
+
+type negotiation = {
+  h_use : int array; (* tenants of each horizontal edge, last iteration *)
+  v_use : int array;
+  nh_use : int array; (* node-layer occupancy *)
+  nv_use : int array;
+  h_hist : float array;
+  v_hist : float array;
+  nh_hist : float array;
+  nv_hist : float array;
+  h_mine : int array; (* last-iteration user marks for self-exclusion *)
+  v_mine : int array;
+  nh_mine : int array;
+  nv_mine : int array;
+}
+
+let make_negotiation g =
+  let n = g.nx * g.ny in
+  {
+    h_use = Array.make n 0;
+    v_use = Array.make n 0;
+    nh_use = Array.make n 0;
+    nv_use = Array.make n 0;
+    h_hist = Array.make n 0.0;
+    v_hist = Array.make n 0.0;
+    nh_hist = Array.make n 0.0;
+    nv_hist = Array.make n 0.0;
+    h_mine = Array.make n (-1);
+    v_mine = Array.make n (-1);
+    nh_mine = Array.make n (-1);
+    nv_mine = Array.make n (-1);
+  }
+
+(* A* where foreign usage is priced instead of forbidden; hard
+   constraints remain: blocked cells, blocked_h rows, and pin
+   reservations (owner arrays) of other nets. *)
+let astar_negotiated g neg ~via_cost ~present ~net ~sx ~sy ~gx ~gy =
+  let nx = g.nx and ny = g.ny in
+  let n_states = nx * ny * 2 in
+  let dist = Array.make n_states infinity in
+  let parent = Array.make n_states (-1) in
+  let queue = Pqueue.create () in
+  let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
+  let heuristic ix iy = g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy)) in
+  let hard_ok owner idx = owner.(idx) = -1 || owner.(idx) = net in
+  let foreign use mine idx =
+    let u = use.(idx) in
+    if mine.(idx) = net then u - 1 else u
+  in
+  let edge_price use mine hist idx =
+    (present *. float_of_int (max 0 (foreign use mine idx))) +. hist.(idx)
+  in
+  if sy + 1 < ny then begin
+    let vidx = node_index g sx sy in
+    if hard_ok g.v_owner vidx && not g.blocked.(node_index g sx (sy + 1)) then begin
+      let s = state sx (sy + 1) dir_v in
+      dist.(s) <- g.grid;
+      parent.(s) <- -2;
+      Pqueue.push queue (g.grid +. heuristic sx (sy + 1)) s
+    end
+  end;
+  let goal_state = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop queue with
+    | None -> continue := false
+    | Some (prio, s) ->
+        let d = dist.(s) in
+        if prio -. heuristic ((s / 2) mod nx) (s / 2 / nx) <= d +. 1e-9 then begin
+          let node = s / 2 in
+          let dir = s land 1 in
+          let ix = node mod nx and iy = node / nx in
+          if ix = gx && iy = gy && dir = dir_v then begin
+            goal_state := s;
+            continue := false
+          end
+          else begin
+            let try_move nix niy ndir ~edge_owner ~edge_idx ~use ~mine ~hist
+                ~node_use ~node_mine ~node_hist ~node_owner =
+              if nix >= 0 && nix < nx && niy >= 0 && niy < ny then begin
+                let nnode = node_index g nix niy in
+                let here = node_index g ix iy in
+                let hard =
+                  ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
+                  && hard_ok edge_owner edge_idx
+                  && hard_ok node_owner nnode && hard_ok node_owner here
+                in
+                if hard then begin
+                  let turn = if dir <> ndir then via_cost else 0.0 in
+                  let congestion =
+                    edge_price use mine hist edge_idx
+                    +. edge_price node_use node_mine node_hist nnode
+                  in
+                  let nd = d +. g.grid +. turn +. congestion in
+                  let ns = state nix niy ndir in
+                  if nd < dist.(ns) -. 1e-9 then begin
+                    dist.(ns) <- nd;
+                    parent.(ns) <- s;
+                    Pqueue.push queue (nd +. heuristic nix niy) ns
+                  end
+                end
+              end
+            in
+            (* horizontal moves obey the blocked_h pin-edge rule *)
+            if
+              not
+                (g.blocked_h.(node_index g ix iy)
+                || (ix + 1 < nx && g.blocked_h.(node_index g (ix + 1) iy)))
+            then
+              try_move (ix + 1) iy dir_h ~edge_owner:g.h_owner
+                ~edge_idx:(node_index g ix iy) ~use:neg.h_use ~mine:neg.h_mine
+                ~hist:neg.h_hist ~node_use:neg.nh_use ~node_mine:neg.nh_mine
+                ~node_hist:neg.nh_hist ~node_owner:g.node_h;
+            if
+              ix > 0
+              && not
+                   (g.blocked_h.(node_index g ix iy)
+                   || g.blocked_h.(node_index g (ix - 1) iy))
+            then
+              try_move (ix - 1) iy dir_h ~edge_owner:g.h_owner
+                ~edge_idx:(node_index g (ix - 1) iy) ~use:neg.h_use
+                ~mine:neg.h_mine ~hist:neg.h_hist ~node_use:neg.nh_use
+                ~node_mine:neg.nh_mine ~node_hist:neg.nh_hist ~node_owner:g.node_h;
+            try_move ix (iy + 1) dir_v ~edge_owner:g.v_owner
+              ~edge_idx:(node_index g ix iy) ~use:neg.v_use ~mine:neg.v_mine
+              ~hist:neg.v_hist ~node_use:neg.nv_use ~node_mine:neg.nv_mine
+              ~node_hist:neg.nv_hist ~node_owner:g.node_v;
+            if iy > 0 then
+              try_move ix (iy - 1) dir_v ~edge_owner:g.v_owner
+                ~edge_idx:(node_index g ix (iy - 1)) ~use:neg.v_use
+                ~mine:neg.v_mine ~hist:neg.v_hist ~node_use:neg.nv_use
+                ~node_mine:neg.nv_mine ~node_hist:neg.nv_hist ~node_owner:g.node_v
+          end
+        end
+  done;
+  if !goal_state < 0 then None
+  else begin
+    let rec walk s acc =
+      if s = -2 then acc
+      else
+        let node = s / 2 in
+        let ix = node mod nx and iy = node / nx in
+        walk parent.(s) ((ix, iy, s land 1) :: acc)
+    in
+    Some ((sx, sy, dir_v) :: walk !goal_state [])
+  end
+
+(* tally resource usage of a path into the negotiation state *)
+let tally g neg ~net path =
+  let mark use mine idx =
+    if mine.(idx) <> net then begin
+      mine.(idx) <- net;
+      use.(idx) <- use.(idx) + 1
+    end
+  in
+  let rec claim = function
+    | (x1, y1, _) :: ((x2, y2, dir) :: _ as rest) ->
+        if dir = dir_h then begin
+          mark neg.h_use neg.h_mine (node_index g (min x1 x2) y1);
+          mark neg.nh_use neg.nh_mine (node_index g x1 y1);
+          mark neg.nh_use neg.nh_mine (node_index g x2 y2)
+        end
+        else begin
+          mark neg.v_use neg.v_mine ((min y1 y2 * g.nx) + x1);
+          mark neg.nv_use neg.nv_mine (node_index g x1 y1);
+          mark neg.nv_use neg.nv_mine (node_index g x2 y2)
+        end;
+        claim rest
+    | _ -> ()
+  in
+  claim path
+
+(* One negotiation attempt for a whole pair. Returns routed paths if
+   every resource ended with a single tenant. *)
+let negotiate_pair g endpoints ~via_cost ~max_iterations =
+  let neg = make_negotiation g in
+  let n_res = g.nx * g.ny in
+  let paths : (int * (int * int * int) list) list ref = ref [] in
+  let present = ref (0.5 *. g.grid) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iterations do
+    incr iter;
+    (* clear usage marks, keep history *)
+    Array.fill neg.h_use 0 n_res 0;
+    Array.fill neg.v_use 0 n_res 0;
+    Array.fill neg.nh_use 0 n_res 0;
+    Array.fill neg.nv_use 0 n_res 0;
+    Array.fill neg.h_mine 0 n_res (-1);
+    Array.fill neg.v_mine 0 n_res (-1);
+    Array.fill neg.nh_mine 0 n_res (-1);
+    Array.fill neg.nv_mine 0 n_res (-1);
+    let this_round = ref [] in
+    let all_routed = ref true in
+    List.iter
+      (fun (ni, sx, sy, gx, gy) ->
+        match
+          astar_negotiated g neg ~via_cost ~present:!present ~net:ni ~sx ~sy ~gx ~gy
+        with
+        | Some path ->
+            tally g neg ~net:ni path;
+            this_round := (ni, path) :: !this_round
+        | None -> all_routed := false)
+      endpoints;
+    paths := !this_round;
+    (* overuse -> history, and check convergence *)
+    let overused = ref false in
+    let bump use hist =
+      Array.iteri
+        (fun i u ->
+          if u > 1 then begin
+            overused := true;
+            hist.(i) <- hist.(i) +. (g.grid *. float_of_int (u - 1))
+          end)
+        use
+    in
+    bump neg.h_use neg.h_hist;
+    bump neg.v_use neg.v_hist;
+    bump neg.nh_use neg.nh_hist;
+    bump neg.nv_use neg.nv_hist;
+    converged := !all_routed && not !overused;
+    present := !present *. 1.6
+  done;
+  if !converged then Some !paths else None
+
+type algorithm = Sequential | Negotiated
+
+let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
+    ?(algorithm = Sequential) p =
+  let t0 = Sys.time () in
+  let tech = p.Problem.tech in
+  let grid = tech.Tech.grid in
+  let margin = 30.0 *. grid in
+  let n_nets = Array.length p.Problem.nets in
+  let routes = Array.make n_nets None in
+  let expansions = ref 0 in
+  (* nets grouped by source row *)
+  let by_row = Array.make (max 1 p.Problem.n_rows) [] in
+  Array.iteri
+    (fun ni e ->
+      let r = p.Problem.cells.(e.Problem.src).Problem.row in
+      by_row.(r) <- ni :: by_row.(r))
+    p.Problem.nets;
+  (* a net that failed an attempt is promoted to the front of the next
+     one: often it just needs first pick of the tracks, which is much
+     cheaper than growing the channel *)
+  let promoted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  for r = 0 to p.Problem.n_rows - 2 do
+    let order_nets () =
+      List.sort
+        (fun a b ->
+          let prio n = if Hashtbl.mem promoted n then 0 else 1 in
+          compare
+            (prio a, Float.abs (Problem.net_dx p p.Problem.nets.(a)))
+            (prio b, Float.abs (Problem.net_dx p p.Problem.nets.(b))))
+        by_row.(r)
+    in
+    let rec attempt ~promotions tries =
+      let nets = order_nets () in
+      let g = make_grid p r ~margin in
+      let to_grid_x x = int_of_float ((x -. g.x0) /. grid +. 0.5) in
+      let to_grid_y y = int_of_float ((y -. g.y0) /. grid +. 0.5) in
+      (* reserve every net's pin-escape edges up front so early-routed nets
+         cannot wall in a later net's pins *)
+      let endpoints =
+        List.map
+          (fun ni ->
+            let e = p.Problem.nets.(ni) in
+            let sc = p.Problem.cells.(e.Problem.src) in
+            let sx = to_grid_x (Problem.pin_x p ni `Src) in
+            let sy = to_grid_y (Problem.row_top p r +. sc.Problem.lib.Cell.height) in
+            let gx = to_grid_x (Problem.pin_x p ni `Dst) in
+            let gy = g.ny - 1 in
+            (ni, sx, sy, gx, gy))
+          nets
+      in
+      List.iter
+        (fun (ni, sx, sy, gx, gy) ->
+          (* escape edges and the vertical occupancy of the pin-adjacent
+             nodes: without this an earlier net's vertical run through
+             (gx, gy-1) would make the final descent impossible no
+             matter how much space expansion adds *)
+          if sy < g.ny - 1 then begin
+            g.v_owner.((sy * g.nx) + sx) <- ni;
+            g.node_v.(node_index g sx sy) <- ni;
+            g.node_v.(node_index g sx (sy + 1)) <- ni;
+            g.node_h.(node_index g sx (sy + 1)) <- ni
+          end;
+          if gy > 0 then begin
+            g.v_owner.(((gy - 1) * g.nx) + gx) <- ni;
+            g.node_v.(node_index g gx gy) <- ni;
+            g.node_v.(node_index g gx (gy - 1)) <- ni;
+            g.node_h.(node_index g gx (gy - 1)) <- ni
+          end)
+        endpoints;
+      let failed = ref None in
+      (match algorithm with
+      | Negotiated -> (
+          match negotiate_pair g endpoints ~via_cost ~max_iterations:24 with
+          | Some paths ->
+              List.iter
+                (fun (ni, path) ->
+                  commit g ~net:ni path;
+                  routes.(ni) <- Some (path_to_route g ~net:ni path))
+                paths
+          | None -> (
+              (* negotiation failed: fall back to sequential claiming in
+                 this geometry, then to space expansion *)
+              match endpoints with
+              | (first, _, _, _, _) :: _ -> failed := Some first
+              | [] -> ()))
+      | Sequential ->
+          List.iter
+            (fun (ni, sx, sy, gx, gy) ->
+              if !failed = None then
+                match astar g ~via_cost ~net:ni ~sx ~sy ~gx ~gy with
+                | Some path ->
+                    commit g ~net:ni path;
+                    routes.(ni) <- Some (path_to_route g ~net:ni path)
+                | None -> failed := Some ni)
+            endpoints);
+      match !failed with
+      | None -> ()
+      | Some ni ->
+          if promotions < 3 && not (Hashtbl.mem promoted ni) then begin
+            Hashtbl.replace promoted ni ();
+            attempt ~promotions:(promotions + 1) tries
+          end
+          else begin
+            if tries >= max_expansions then raise (Unroutable ni);
+            incr expansions;
+            p.Problem.row_gaps.(r) <- p.Problem.row_gaps.(r) +. tech.Tech.s_min;
+            attempt ~promotions (tries + 1)
+          end
+    in
+    attempt ~promotions:0 0
+  done;
+  let routes = Array.map Option.get routes in
+  let wirelength = Array.fold_left (fun acc r -> acc +. r.length) 0.0 routes in
+  let total_vias = Array.fold_left (fun acc r -> acc + r.vias) 0 routes in
+  { routes; expansions = !expansions; wirelength; total_vias; runtime_s = Sys.time () -. t0 }
+
+let check_routes p result =
+  let problems = ref [] in
+  let push fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let grid = p.Problem.tech.Tech.grid in
+  let seg_table : (int * int * int * bool, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun rt ->
+      let e = p.Problem.nets.(rt.net) in
+      (match rt.points with
+      | [] | [ _ ] -> push "net %d: degenerate route" rt.net
+      | (x0, y0) :: _ ->
+          let sx = Problem.pin_x p rt.net `Src in
+          let sc = p.Problem.cells.(e.Problem.src) in
+          let sy = Problem.row_top p sc.Problem.row +. sc.Problem.lib.Cell.height in
+          if Float.abs (x0 -. sx) > 1e-6 || Float.abs (y0 -. sy) > 1e-6 then
+            push "net %d: route does not start at source pin" rt.net);
+      (match List.rev rt.points with
+      | (xn, yn) :: _ ->
+          let dx = Problem.pin_x p rt.net `Dst in
+          let dc = p.Problem.cells.(e.Problem.dst) in
+          let dy = Problem.row_top p dc.Problem.row in
+          if Float.abs (xn -. dx) > 1e-6 || Float.abs (yn -. dy) > 1e-6 then
+            push "net %d: route does not end at sink pin" rt.net
+      | [] -> ());
+      (* walk segments; register every grid edge *)
+      let rec walk = function
+        | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+            if x1 <> x2 && y1 <> y2 then push "net %d: diagonal segment" rt.net
+            else begin
+              let horizontal = y1 = y2 in
+              let steps =
+                int_of_float (Float.abs ((x2 -. x1) +. (y2 -. y1)) /. grid +. 0.5)
+              in
+              for s = 0 to steps - 1 do
+                let fx = if horizontal then Float.min x1 x2 +. (float_of_int s *. grid) else x1 in
+                let fy = if horizontal then y1 else Float.min y1 y2 +. (float_of_int s *. grid) in
+                let key =
+                  ( int_of_float (fx /. grid +. 0.5),
+                    int_of_float (fy /. grid +. 0.5),
+                    0,
+                    horizontal )
+                in
+                (match Hashtbl.find_opt seg_table key with
+                | Some other when other <> rt.net ->
+                    push "nets %d/%d share a grid edge" rt.net other
+                | _ -> ());
+                Hashtbl.replace seg_table key rt.net
+              done
+            end;
+            walk rest
+        | _ -> ()
+      in
+      walk rt.points)
+    result.routes;
+  match !problems with
+  | [] -> Ok ()
+  | ps ->
+      Error (String.concat "; " (List.filteri (fun i _ -> i < 10) (List.rev ps)))

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Array Hashtbl List Netlist Printf Result String

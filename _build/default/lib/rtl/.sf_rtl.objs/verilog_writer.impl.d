@@ -1,0 +1,1 @@
+lib/rtl/verilog_writer.ml: Array Buffer Hashtbl List Netlist Printf String

@@ -1,0 +1,18 @@
+(** Structural-Verilog netlist writer.
+
+    The flow's remaining interchange direction: dump a netlist back as
+    Verilog. AOI gates are written as the standard gate primitives
+    ([and]/[or]/[not]/...), which this library's own {!Verilog} parser
+    reads back (round-trip tested); AQFP-specific cells (majority,
+    splitters, constants) are written as named cell instances in the
+    AQFP library ([maj3 u7 (a, b, c, y);]), matching the LEF macros of
+    {!Lef} — readable by any tool that knows the library, though not
+    by the primitive-only parser here. *)
+
+val to_verilog : ?module_name:string -> Netlist.t -> string
+(** Render a netlist. Signal names use the node names where present
+    and [n<id>] otherwise. *)
+
+val is_roundtrippable : Netlist.t -> bool
+(** True iff the netlist uses only primitives the {!Verilog} parser
+    accepts (pure AOI, no constants). *)

@@ -1,0 +1,1 @@
+lib/synth/aoi_to_maj.ml: Array Cell Hashtbl List Maj_db Netlist Option

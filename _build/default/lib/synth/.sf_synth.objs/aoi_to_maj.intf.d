@@ -1,0 +1,1 @@
+lib/synth/aoi_to_maj.mli: Netlist

@@ -1,0 +1,1 @@
+lib/synth/insertion.ml: Array Cell List Netlist

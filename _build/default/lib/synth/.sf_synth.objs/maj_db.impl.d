@@ -1,0 +1,1 @@
+lib/synth/maj_db.ml: Array Fun Lazy List Option Truth

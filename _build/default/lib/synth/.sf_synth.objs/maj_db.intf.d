@@ -1,0 +1,1 @@
+lib/synth/maj_db.mli: Truth

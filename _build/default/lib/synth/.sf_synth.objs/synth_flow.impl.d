@@ -1,0 +1,1 @@
+lib/synth/synth_flow.ml: Aoi_to_maj Cell Format Insertion Opt

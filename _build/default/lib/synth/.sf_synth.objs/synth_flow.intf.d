@@ -1,0 +1,1 @@
+lib/synth/synth_flow.mli: Aoi_to_maj Format Insertion Netlist Opt

@@ -1,0 +1,27 @@
+(** AOI netlist optimization, run before majority conversion.
+
+    A single bottom-up rewriting pass with structural hashing,
+    iterated to a fixpoint:
+
+    - {e constant folding}: gates with constant operands collapse
+      ([and(x,0) = 0], [or(x,1) = 1], [xor(x,0) = x], ...);
+    - {e boolean identities}: idempotence ([and(x,x) = x]),
+      complementation ([and(x,~x) = 0], [xor(x,x) = 0]), double
+      negation, buffer collapsing;
+    - {e common-subexpression elimination}: structurally identical
+      gates (commutative operands sorted) share one node;
+    - {e dead-node sweep}: only logic reachable from the primary
+      outputs survives.
+
+    Primary inputs and outputs keep their order and names, so the
+    result is drop-in equivalent (verified by the test suite through
+    exhaustive/random simulation). *)
+
+val optimize : Netlist.t -> Netlist.t
+(** Full fixpoint optimization of an AOI netlist. Raises
+    [Invalid_argument] on majority/splitter nodes (those appear only
+    after conversion, where this pass does not apply). *)
+
+type stats = { nodes_before : int; nodes_after : int; iterations : int }
+
+val optimize_with_stats : Netlist.t -> Netlist.t * stats

@@ -1,0 +1,24 @@
+(** Logic-synthesis stage driver: AOI netlist → majority conversion →
+    splitter/buffer insertion → legal AQFP netlist, with the
+    statistics the paper reports in Table II. *)
+
+type report = {
+  jjs : int;  (** Josephson junctions, all cells included *)
+  nets : int;  (** point-to-point connections *)
+  delay : int;  (** clock phases *)
+  opt_stats : Opt.stats;  (** AOI pre-optimization *)
+  maj_stats : Aoi_to_maj.stats;
+  ins_stats : Insertion.stats;
+}
+
+val run : Netlist.t -> Netlist.t * report
+(** Synthesize an AOI netlist into a placement-ready AQFP netlist:
+    AOI optimization ({!Opt}), majority conversion (cut-collapsing vs
+    per-gate, cheaper wins), splitter/buffer insertion (per-edge
+    chains vs shared ladders, cheaper wins). Raises
+    [Invalid_argument] if the input contains non-AOI gates. *)
+
+val run_quiet : Netlist.t -> Netlist.t
+(** [run] without the report. *)
+
+val pp_report : Format.formatter -> report -> unit

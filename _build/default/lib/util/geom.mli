@@ -1,0 +1,52 @@
+(** 2-D geometry on micrometre coordinates.
+
+    Layout geometry throughout the flow uses floats in µm. Rectangles
+    are axis-aligned, closed on the low edge and open on the high edge
+    for overlap purposes (two abutting cells do not "overlap"). *)
+
+type point = { x : float; y : float }
+
+type rect = { lx : float; ly : float; hx : float; hy : float }
+(** Invariant: [lx <= hx] and [ly <= hy]. *)
+
+val pt : float -> float -> point
+
+val rect : float -> float -> float -> float -> rect
+(** [rect lx ly hx hy]; raises [Invalid_argument] if degenerate
+    (negative extent). *)
+
+val rect_of_size : x:float -> y:float -> w:float -> h:float -> rect
+
+val width : rect -> float
+
+val height : rect -> float
+
+val area : rect -> float
+
+val center : rect -> point
+
+val translate : rect -> float -> float -> rect
+
+val overlaps : rect -> rect -> bool
+(** Strict interior intersection: abutting rectangles don't overlap. *)
+
+val contains : rect -> point -> bool
+
+val intersection : rect -> rect -> rect option
+
+val union_rect : rect -> rect -> rect
+(** Bounding box of the two. *)
+
+val dist_manhattan : point -> point -> float
+
+val dist_rect : rect -> rect -> float
+(** Minimum Manhattan gap between two rectangles; 0 when they touch or
+    overlap. *)
+
+val spacing_x : rect -> rect -> float
+(** Horizontal free space between two rectangles ([-] if overlapping in
+    x); used by spacing DRC. *)
+
+val pp_rect : Format.formatter -> rect -> unit
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,47 @@
+type 'a node =
+  | Empty
+  | Node of { prio : float; value : 'a; children : 'a node list }
+
+type 'a t = { mutable root : 'a node; mutable size : int }
+
+let create () = { root = Empty; size = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let meld a b =
+  match (a, b) with
+  | Empty, n | n, Empty -> n
+  | Node na, Node nb ->
+      if na.prio <= nb.prio then
+        Node { na with children = b :: na.children }
+      else Node { nb with children = a :: nb.children }
+
+(* Two-pass pairing: meld adjacent pairs left-to-right, then meld the
+   results right-to-left. This is what gives the amortized bounds. *)
+let rec meld_pairs = function
+  | [] -> Empty
+  | [ n ] -> n
+  | a :: b :: rest -> meld (meld a b) (meld_pairs rest)
+
+let push q prio value =
+  q.root <- meld q.root (Node { prio; value; children = [] });
+  q.size <- q.size + 1
+
+let pop q =
+  match q.root with
+  | Empty -> None
+  | Node { prio; value; children } ->
+      q.root <- meld_pairs children;
+      q.size <- q.size - 1;
+      Some (prio, value)
+
+let peek q =
+  match q.root with
+  | Empty -> None
+  | Node { prio; value; _ } -> Some (prio, value)
+
+let clear q =
+  q.root <- Empty;
+  q.size <- 0

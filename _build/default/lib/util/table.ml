@@ -1,0 +1,78 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  arity : int;
+  mutable rows : row list; (* reversed *)
+  mutable aligns : align list;
+}
+
+let create ~headers =
+  let arity = List.length headers in
+  { headers; arity; rows = []; aligns = List.map (fun _ -> Right) headers }
+
+let set_align t aligns =
+  if List.length aligns <> t.arity then
+    invalid_arg "Table.set_align: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align w s =
+  let n = String.length s in
+  if n >= w then s
+  else
+    let fill = String.make (w - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Sep -> ()
+      | Cells cs ->
+          List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs)
+    rows;
+  let buf = Buffer.create 1024 in
+  let hline () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line aligns cells =
+    List.iteri
+      (fun i (a, c) -> Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      (List.combine aligns cells);
+    Buffer.add_string buf "|\n"
+  in
+  hline ();
+  line (List.map (fun _ -> Left) t.headers) t.headers;
+  hline ();
+  List.iter
+    (function Sep -> hline () | Cells cs -> line t.aligns cs)
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float ?(dec = 1) x = Printf.sprintf "%.*f" dec x

@@ -1,0 +1,31 @@
+(** ASCII table renderer for experiment reports.
+
+    The bench harness prints every reproduced paper table through this
+    module so Tables II/III/IV share one look. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** New table; every row added later must have the same arity. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Right] for all columns. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val add_sep : t -> unit
+(** Horizontal separator before the next row. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [12,345]. *)
+
+val fmt_float : ?dec:int -> float -> string
+(** Fixed-point float, default 1 decimal. *)

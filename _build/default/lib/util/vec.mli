@@ -1,0 +1,41 @@
+(** Growable array (OCaml 5.1 has no [Dynarray]; this is the subset the
+    flow needs). Elements are stored contiguously; indices are stable.
+    Not thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Append an element; returns its index. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+test/test_aqfp.ml: Alcotest Array Cell Circuits Clocking Energy Lef List Netlist Printf Synth_flow Tech

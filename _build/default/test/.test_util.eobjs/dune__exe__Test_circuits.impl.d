@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Bench_parser Circuits Filename Fun Gen List Netlist Printf QCheck QCheck_alcotest Rng Sim Synth_flow Sys

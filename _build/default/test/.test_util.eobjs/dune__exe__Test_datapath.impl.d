@@ -1,0 +1,1 @@
+test/test_datapath.ml: Alcotest Array Circuits Datapath Flow Fun List Netlist Printf QCheck QCheck_alcotest Sim Synth_flow

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Chip_report Circuits Drc Filename Flow Gds List Netlist Placer Problem Report Router Sim String Svg Synth_flow Sys

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bench_parser Bytes Char Circuits Def Gds Gen Layout Lef Placer Problem QCheck QCheck_alcotest Rng Router String Synth_flow Tech Verilog

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Bytes Circuits Def Drc Filename Float Gds Geom Layout List Placer Printf Problem QCheck QCheck_alcotest Router String Svg Synth_flow Sys Tech

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bdd Bench_parser Circuits Fault Fun List Netlist Netlist_stats Printf QCheck QCheck_alcotest Sim String Synth_flow Truth Vcd

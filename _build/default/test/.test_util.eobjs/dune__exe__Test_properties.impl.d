@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bufferline Circuits Def Fault Float Geom List Maj_db Netlist Opt Placer Problem QCheck QCheck_alcotest Rng Router Sim Synth_flow Tech Truth Vec

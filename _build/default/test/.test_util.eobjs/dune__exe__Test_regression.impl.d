@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Aoi_to_maj Array Cell Circuits Congestion Fault List Placer Printf Problem Router Sta Stats Synth_flow Tech

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Circuits Congestion Float List Netlist Placer Problem QCheck QCheck_alcotest Router String Synth_flow Tech

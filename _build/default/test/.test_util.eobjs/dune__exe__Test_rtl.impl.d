@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Circuits List Netlist Sim String Synth_flow Verilog Verilog_writer

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Aoi_to_maj Array Bdd Cell Circuits Insertion List Maj_db Netlist Opt Printf QCheck QCheck_alcotest Sim Synth_flow Truth

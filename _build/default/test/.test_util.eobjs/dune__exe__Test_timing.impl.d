@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Circuits List Netlist Placer Problem Router Sta Synth_flow Tech

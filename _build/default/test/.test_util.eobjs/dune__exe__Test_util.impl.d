@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Geom List Option Pqueue QCheck QCheck_alcotest Rng Stats String Table Union_find Vec

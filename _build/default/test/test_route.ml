@@ -1,0 +1,220 @@
+(* Tests for the layer-wise A* router: path validity, exclusivity,
+   space expansion, and the routed-design invariants. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let placed_problem name alg =
+  let aoi = Circuits.benchmark name in
+  let aqfp = Synth_flow.run_quiet aoi in
+  let p = Problem.of_netlist Tech.default aqfp in
+  ignore (Placer.place alg p);
+  p
+
+let tiny_placed () =
+  let aoi = Circuits.kogge_stone_adder 2 in
+  let aqfp = Synth_flow.run_quiet aoi in
+  let p = Problem.of_netlist Tech.default aqfp in
+  ignore (Placer.place Placer.Superflow p);
+  p
+
+let test_routes_all_nets () =
+  let p = tiny_placed () in
+  let r = Router.route_all p in
+  checki "one route per net" (Array.length p.Problem.nets) (Array.length r.Router.routes);
+  Array.iteri
+    (fun i rt -> checki "net order" i rt.Router.net)
+    r.Router.routes
+
+let test_route_check_clean () =
+  let p = tiny_placed () in
+  let r = Router.route_all p in
+  match Router.check_routes p r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_routes_connect_pins () =
+  let p = tiny_placed () in
+  let r = Router.route_all p in
+  Array.iter
+    (fun rt ->
+      match (rt.Router.points, List.rev rt.Router.points) with
+      | (x0, _) :: _, (xn, yn) :: _ ->
+          let e = p.Problem.nets.(rt.Router.net) in
+          Alcotest.(check (float 1e-6)) "start x" (Problem.pin_x p rt.Router.net `Src) x0;
+          Alcotest.(check (float 1e-6)) "end x" (Problem.pin_x p rt.Router.net `Dst) xn;
+          let dc = p.Problem.cells.(e.Problem.dst) in
+          Alcotest.(check (float 1e-6)) "end y"
+            (Problem.row_top p dc.Problem.row) yn
+      | _ -> Alcotest.fail "empty route")
+    r.Router.routes
+
+let test_rectilinear_on_grid () =
+  let p = tiny_placed () in
+  let r = Router.route_all p in
+  let grid = Tech.default.Tech.grid in
+  Array.iter
+    (fun rt ->
+      let rec walk = function
+        | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+            checkb "rectilinear" true (x1 = x2 || y1 = y2);
+            checkb "x on grid" true (Float.rem x1 grid < 1e-6);
+            checkb "y on grid" true (Float.rem y1 grid < 1e-6);
+            walk rest
+        | _ -> ()
+      in
+      walk rt.Router.points)
+    r.Router.routes
+
+let test_wirelength_consistent () =
+  let p = tiny_placed () in
+  let r = Router.route_all p in
+  let sum =
+    Array.fold_left
+      (fun acc rt ->
+        let rec len = function
+          | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+              Float.abs (x2 -. x1) +. Float.abs (y2 -. y1) +. len rest
+          | _ -> 0.0
+        in
+        acc +. len rt.Router.points)
+      0.0 r.Router.routes
+  in
+  Alcotest.(check (float 1e-3)) "sum of segments" sum r.Router.wirelength;
+  (* every route is at least as long as its net's Manhattan distance *)
+  Array.iter
+    (fun rt ->
+      let e = p.Problem.nets.(rt.Router.net) in
+      let lower = Problem.net_length p e in
+      checkb "no shorter than manhattan" true (rt.Router.length +. 1e-6 >= lower))
+    r.Router.routes
+
+let test_expansion_monotone_gaps () =
+  let p = placed_problem "adder8" Placer.Superflow in
+  let before = Array.copy p.Problem.row_gaps in
+  let r = Router.route_all p in
+  checkb "expansions recorded" true (r.Router.expansions >= 0);
+  Array.iteri
+    (fun i g -> checkb "gaps only grow" true (g >= before.(i) -. 1e-9))
+    p.Problem.row_gaps
+
+let test_larger_benchmarks_route () =
+  List.iter
+    (fun name ->
+      let p = placed_problem name Placer.Superflow in
+      let r = Router.route_all p in
+      (match Router.check_routes p r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (name ^ ": " ^ e));
+      checkb (name ^ " wl sane") true (r.Router.wirelength > 0.0))
+    [ "apc32"; "decoder" ]
+
+let test_gordian_placement_routes_too () =
+  let p = placed_problem "adder8" Placer.Gordian in
+  let r = Router.route_all p in
+  match Router.check_routes p r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_negotiated_mode () =
+  let p = tiny_placed () in
+  let r = Router.route_all ~algorithm:Router.Negotiated p in
+  (match Router.check_routes p r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  checki "one route per net" (Array.length p.Problem.nets) (Array.length r.Router.routes)
+
+let test_negotiated_not_worse () =
+  (* negotiation should never need more space than sequential claiming *)
+  let route alg =
+    let p = placed_problem "adder8" Placer.Superflow in
+    let r = Router.route_all ~algorithm:alg p in
+    (match Router.check_routes p r with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    r.Router.expansions
+  in
+  checkb "fewer or equal expansions" true
+    (route Router.Negotiated <= route Router.Sequential)
+
+(* ---------- congestion estimation ---------- *)
+
+let test_congestion_density_manual () =
+  (* two nets with overlapping spans in one gap -> density 2 *)
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let b = Netlist.add nl Netlist.Input [||] in
+  let x = Netlist.add nl Netlist.Buf [| a |] in
+  let y = Netlist.add nl Netlist.Buf [| b |] in
+  ignore (Netlist.add nl Netlist.Output [| x |]);
+  ignore (Netlist.add nl Netlist.Output [| y |]);
+  ignore (Netlist.levelize nl);
+  let p = Problem.of_netlist Tech.default nl in
+  (* force the two gap-0 nets to cross: a at 0 -> x at far right, and
+     b at far right -> y at 0 *)
+  let cell_of node =
+    let idx = ref (-1) in
+    Array.iteri (fun i c -> if c.Problem.node = node then idx := i) p.Problem.cells;
+    p.Problem.cells.(!idx)
+  in
+  (cell_of a).Problem.x <- 0.0;
+  (cell_of b).Problem.x <- 500.0;
+  (cell_of x).Problem.x <- 500.0;
+  (cell_of y).Problem.x <- 0.0;
+  checki "crossing nets overlap" 2 (Congestion.channel_density p 0);
+  (* parallel (non-overlapping) spans -> density 1 *)
+  (cell_of x).Problem.x <- 0.0;
+  (cell_of y).Problem.x <- 500.0;
+  checki "parallel nets" 1 (Congestion.channel_density p 0)
+
+let test_congestion_preexpand_reduces_expansions () =
+  let route_with_preexpand pre =
+    let p = placed_problem "apc32" Placer.Superflow in
+    if pre then ignore (Congestion.preexpand p);
+    let r = Router.route_all p in
+    r.Router.expansions
+  in
+  checkb "preexpansion saves router work" true
+    (route_with_preexpand true <= route_with_preexpand false)
+
+let test_congestion_report_renders () =
+  let p = placed_problem "adder8" Placer.Superflow in
+  let text = Congestion.report p in
+  checkb "has rows" true (String.length text > 100)
+
+let prop_routes_edge_disjoint =
+  (* check_routes validates edge-disjointness; also verify net ids and
+     via counts are consistent across random placement seeds *)
+  QCheck.Test.make ~name:"routing is valid across placement seeds" ~count:5
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let aoi = Circuits.kogge_stone_adder 2 in
+      let aqfp = Synth_flow.run_quiet aoi in
+      let p = Problem.of_netlist Tech.default aqfp in
+      ignore (Placer.place ~seed Placer.Superflow p);
+      let r = Router.route_all p in
+      Router.check_routes p r = Ok ()
+      && r.Router.total_vias
+         = Array.fold_left (fun acc rt -> acc + rt.Router.vias) 0 r.Router.routes)
+
+let () =
+  Alcotest.run "sf_route"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "routes all nets" `Quick test_routes_all_nets;
+          Alcotest.test_case "check clean" `Quick test_route_check_clean;
+          Alcotest.test_case "connects pins" `Quick test_routes_connect_pins;
+          Alcotest.test_case "rectilinear on grid" `Quick test_rectilinear_on_grid;
+          Alcotest.test_case "wirelength consistent" `Quick test_wirelength_consistent;
+          Alcotest.test_case "expansion" `Slow test_expansion_monotone_gaps;
+          Alcotest.test_case "larger benchmarks" `Slow test_larger_benchmarks_route;
+          Alcotest.test_case "gordian placement" `Slow test_gordian_placement_routes_too;
+          Alcotest.test_case "negotiated mode" `Quick test_negotiated_mode;
+          Alcotest.test_case "negotiated expansions" `Slow test_negotiated_not_worse;
+          Alcotest.test_case "congestion density" `Quick test_congestion_density_manual;
+          Alcotest.test_case "preexpand" `Slow test_congestion_preexpand_reduces_expansions;
+          Alcotest.test_case "congestion report" `Quick test_congestion_report_renders;
+          QCheck_alcotest.to_alcotest prop_routes_edge_disjoint;
+        ] );
+    ]

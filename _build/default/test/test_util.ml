@@ -1,0 +1,252 @@
+(* Tests for the sf_util substrate: priority queue, union-find, vector,
+   RNG, geometry, stats, tables. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* ---------- Pqueue ---------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  checki "length" 3 (Pqueue.length q);
+  check Alcotest.(option (pair (float 1e-9) string)) "peek" (Some (1.0, "a")) (Pqueue.peek q);
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  check Alcotest.(list string) "pop order" [ "a"; "b"; "c" ] order;
+  checkb "empty after" true (Pqueue.is_empty q)
+
+let test_pqueue_duplicates () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 1;
+  Pqueue.push q 1.0 2;
+  Pqueue.push q 0.5 3;
+  checki "first" 3 (snd (Option.get (Pqueue.pop q)));
+  let a = snd (Option.get (Pqueue.pop q)) in
+  let b = snd (Option.get (Pqueue.pop q)) in
+  checkb "both equal-prio values come out" true (List.sort compare [ a; b ] = [ 1; 2 ])
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  Pqueue.clear q;
+  checkb "cleared" true (Pqueue.is_empty q);
+  check Alcotest.(option (pair (float 1e-9) int)) "pop none" None (Pqueue.pop q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue pops in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q p p) prios;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare prios)
+
+(* ---------- Union_find ---------- *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 5 in
+  checki "initial sets" 5 (Union_find.count uf);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  checkb "0~1" true (Union_find.same uf 0 1);
+  checkb "0!~2" false (Union_find.same uf 0 2);
+  Union_find.union uf 1 2;
+  checkb "0~3 transitively" true (Union_find.same uf 0 3);
+  checki "sets" 2 (Union_find.count uf);
+  Union_find.union uf 0 3;
+  checki "idempotent union" 2 (Union_find.count uf)
+
+(* ---------- Vec ---------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    checki "index" i (Vec.push v (i * 2))
+  done;
+  checki "length" 100 (Vec.length v);
+  checki "get 50" 100 (Vec.get v 50);
+  Vec.set v 50 7;
+  checki "set" 7 (Vec.get v 50);
+  check Alcotest.(option int) "pop" (Some 198) (Vec.pop v);
+  checki "length after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_vec_iterators () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  checki "fold" 10 (Vec.fold ( + ) 0 v);
+  check Alcotest.(list int) "map" [ 2; 4; 6; 8 ] (Vec.to_list (Vec.map (fun x -> 2 * x) v));
+  checkb "exists" true (Vec.exists (fun x -> x = 3) v);
+  checkb "not exists" false (Vec.exists (fun x -> x = 9) v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  checki "iteri count" 4 (List.length !acc)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    checki "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    checkb "in range" true (x >= 0 && x < 17);
+    let f = Rng.float rng 3.5 in
+    checkb "float range" true (f >= 0.0 && f < 3.5)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 99 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let rng = Rng.create 5 in
+  let sub = Rng.split rng in
+  let x = Rng.int rng 1000000 and y = Rng.int sub 1000000 in
+  checkb "streams differ (overwhelmingly)" true (x <> y || Rng.int rng 10 >= 0)
+
+(* ---------- Geom ---------- *)
+
+let test_geom_overlap () =
+  let a = Geom.rect 0.0 0.0 10.0 10.0 in
+  let b = Geom.rect 10.0 0.0 20.0 10.0 in
+  checkb "abutting do not overlap" false (Geom.overlaps a b);
+  let c = Geom.rect 9.0 9.0 11.0 11.0 in
+  checkb "overlap" true (Geom.overlaps a c);
+  checkf "dist abutting" 0.0 (Geom.dist_rect a b);
+  checkf "dist separated" 5.0 (Geom.dist_rect a (Geom.translate b 5.0 0.0))
+
+let test_geom_ops () =
+  let r = Geom.rect_of_size ~x:10.0 ~y:20.0 ~w:30.0 ~h:40.0 in
+  checkf "width" 30.0 (Geom.width r);
+  checkf "height" 40.0 (Geom.height r);
+  checkf "area" 1200.0 (Geom.area r);
+  let c = Geom.center r in
+  checkf "cx" 25.0 c.Geom.x;
+  checkf "cy" 40.0 c.Geom.y;
+  checkb "contains center" true (Geom.contains r c);
+  let u = Geom.union_rect r (Geom.rect 0.0 0.0 5.0 5.0) in
+  checkf "union lx" 0.0 u.Geom.lx;
+  checkf "union hx" 40.0 u.Geom.hx;
+  (match Geom.intersection r (Geom.rect 20.0 30.0 100.0 100.0) with
+  | Some i ->
+      checkf "ix" 20.0 i.Geom.lx;
+      checkf "iy" 30.0 i.Geom.ly
+  | None -> Alcotest.fail "expected intersection");
+  check Alcotest.(option reject) "disjoint intersection"
+    None
+    (Option.map (fun _ -> ()) (Geom.intersection r (Geom.rect 100.0 100.0 110.0 110.0)))
+
+let test_geom_invalid () =
+  Alcotest.check_raises "negative extent" (Invalid_argument "Geom.rect: negative extent")
+    (fun () -> ignore (Geom.rect 10.0 0.0 0.0 10.0))
+
+let test_geom_spacing () =
+  let a = Geom.rect 0.0 0.0 10.0 10.0 in
+  let b = Geom.rect 25.0 0.0 30.0 10.0 in
+  checkf "spacing_x" 15.0 (Geom.spacing_x a b);
+  checkf "spacing_x symmetric" 15.0 (Geom.spacing_x b a)
+
+(* ---------- Stats ---------- *)
+
+let test_stats () =
+  checkf "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  checkf "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  checkf "sum" 10.0 (Stats.sum [| 1.0; 2.0; 3.0; 4.0 |]);
+  checkf "min" 1.0 (Stats.minimum [| 3.0; 1.0; 2.0 |]);
+  checkf "max" 3.0 (Stats.maximum [| 3.0; 1.0; 2.0 |]);
+  checkf "ratio geomean identity" 1.0
+    (Stats.ratio_geomean [| 2.0; 4.0 |] [| 2.0; 4.0 |]);
+  checkf "percentile median" 2.0 (Stats.percentile [| 1.0; 2.0; 3.0 |] 50.0);
+  checkf "stddev" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |])
+
+(* ---------- Table ---------- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  loop 0
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  checkb "contains alpha" true (contains_sub s "alpha");
+  checkb "contains header" true (contains_sub s "value");
+  (* all lines share the same width *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  checkb "uniform width" true (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_arity () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_formats () =
+  check Alcotest.string "fmt_int" "12,345" (Table.fmt_int 12345);
+  check Alcotest.string "fmt_int small" "7" (Table.fmt_int 7);
+  check Alcotest.string "fmt_int negative" "-1,000" (Table.fmt_int (-1000));
+  check Alcotest.string "fmt_float" "3.1" (Table.fmt_float 3.14159);
+  check Alcotest.string "fmt_float dec" "3.142" (Table.fmt_float ~dec:3 3.14159)
+
+let () =
+  Alcotest.run "sf_util"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+        ] );
+      ("union_find", [ Alcotest.test_case "basic" `Quick test_uf_basic ]);
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iterators" `Quick test_vec_iterators;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "geom",
+        [
+          Alcotest.test_case "overlap" `Quick test_geom_overlap;
+          Alcotest.test_case "ops" `Quick test_geom_ops;
+          Alcotest.test_case "invalid" `Quick test_geom_invalid;
+          Alcotest.test_case "spacing" `Quick test_geom_spacing;
+        ] );
+      ("stats", [ Alcotest.test_case "summaries" `Quick test_stats ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+    ]
