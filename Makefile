@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: build test bench bench-quick bench-speedup clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full evaluation: every paper table/figure + ablations + micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Small-circuit subset, finishes in a couple of minutes. Emits
+# machine-readable `BENCH_STAGE {...}` JSON lines for per-stage
+# timing tracking.
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+# Only the multicore speedup table (jobs=1 vs jobs=N on the parallel
+# stages, with an identical-results check).
+bench-speedup:
+	dune exec bench/main.exe -- speedup quick
+
+clean:
+	dune clean

@@ -294,6 +294,79 @@ let timing_yield () =
   Table.print t;
   print_newline ()
 
+(* ---- multicore speedup: jobs=1 vs jobs=N over the parallel stages ----
+
+   Also emits machine-readable BENCH_STAGE lines (one JSON object per
+   line) so CI can diff per-stage timings across commits. *)
+
+let stage_json ~circuit ~stage ~jobs ~seconds =
+  Printf.printf
+    "BENCH_STAGE {\"circuit\":\"%s\",\"stage\":\"%s\",\"jobs\":%d,\"seconds\":%.4f}\n"
+    circuit stage jobs seconds
+
+let speedup_table () =
+  print_endline
+    "Extension: multicore speedup (domain pool; results identical by construction)";
+  let jn = max 4 (Domain.recommended_domain_count ()) in
+  let circuits = if quick then [ "adder8"; "apc32" ] else [ "adder8"; "apc32"; "sorter32" ] in
+  let t =
+    Table.create
+      ~headers:
+        [
+          "circuit";
+          "stage";
+          "jobs=1 (s)";
+          Printf.sprintf "jobs=%d (s)" jn;
+          "speedup";
+          "identical";
+        ]
+  in
+  List.iter
+    (fun name ->
+      let aqfp = Synth_flow.run_quiet (Circuits.benchmark name) in
+      (* fresh problem per jobs setting; stage wall times + QoR *)
+      let run_stages jobs =
+        Parallel.set_jobs jobs;
+        let p = Problem.of_netlist Tech.default aqfp in
+        let _, place_s =
+          Wallclock.time (fun () -> ignore (Placer.place Placer.Superflow p))
+        in
+        let routed, route_s = Wallclock.time (fun () -> Router.route_all p) in
+        let sta, sta_s = Wallclock.time (fun () -> Sta.analyze_routed p routed) in
+        let layout = Layout.build p routed in
+        let viols, drc_s = Wallclock.time (fun () -> Drc.check layout) in
+        let metrics =
+          ( Problem.hpwl p,
+            routed.Router.wirelength,
+            routed.Router.total_vias,
+            sta.Sta.wns_ps,
+            List.length viols )
+        in
+        ([ ("place", place_s); ("route", route_s); ("sta", sta_s); ("drc", drc_s) ],
+         metrics)
+      in
+      let serial, m1 = run_stages 1 in
+      let par, mn = run_stages jn in
+      let identical = if m1 = mn then "yes" else "NO" in
+      List.iter2
+        (fun (stage, t1) (_, tn) ->
+          stage_json ~circuit:name ~stage ~jobs:1 ~seconds:t1;
+          stage_json ~circuit:name ~stage ~jobs:jn ~seconds:tn;
+          Table.add_row t
+            [
+              name;
+              stage;
+              Table.fmt_float ~dec:3 t1;
+              Table.fmt_float ~dec:3 tn;
+              (if tn > 0.0 then Printf.sprintf "%.2fx" (t1 /. tn) else "n/a");
+              identical;
+            ])
+        serial par)
+    circuits;
+  Parallel.auto_jobs ();
+  Table.print t;
+  print_newline ()
+
 let run_ablations () =
   timing_yield ();
   seed_stability ();
@@ -424,7 +497,14 @@ let run_micro () =
   Table.print t;
   print_newline ()
 
+let speedup_only = Array.exists (fun a -> a = "speedup") Sys.argv
+
 let () =
+  if speedup_only then begin
+    Format.printf "SuperFlow %s — multicore speedup@.@." Flow.version;
+    speedup_table ();
+    exit 0
+  end;
   Format.printf "SuperFlow %s — paper table regeneration%s@.@." Flow.version
     (if quick then " (quick subset)" else "");
   Report.print_table1 ();
@@ -436,6 +516,7 @@ let () =
   Report.print_claims table_circuits;
   run_ablations ();
   scaling_study ();
+  speedup_table ();
   (* EXPERIMENTS.md from the same (memoized) measurements *)
   if not quick then begin
     let md = Report.experiments_markdown table_circuits in

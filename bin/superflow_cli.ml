@@ -77,10 +77,11 @@ let router_of_string = function
   | "negotiated" -> Ok Router.Negotiated
   | s -> Error (Printf.sprintf "unknown router %S (sequential|negotiated)" s)
 
-let cmd_route input placer_name router_name =
+let cmd_route input placer_name router_name jobs =
   match (load_input input, placer_of_string placer_name, router_of_string router_name) with
   | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
   | Ok aoi, Ok algorithm, Ok router_alg ->
+      (match jobs with Some j -> Parallel.set_jobs j | None -> ());
       let aqfp = Synth_flow.run_quiet aoi in
       let p = Problem.of_netlist Tech.default aqfp in
       ignore (Placer.place algorithm p);
@@ -100,11 +101,13 @@ let load_tech = function
   | None -> Ok Tech.default
   | Some path -> Tech.of_file path
 
-let cmd_flow input placer_name gds_out def_out svg_out tech_file =
+let cmd_flow input placer_name gds_out def_out svg_out tech_file jobs =
   match (load_input input, placer_of_string placer_name, load_tech tech_file) with
   | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
   | Ok aoi, Ok algorithm, Ok tech ->
-      let r = Flow.run ~tech ~algorithm ?gds_path:gds_out ?def_path:def_out aoi in
+      let r =
+        Flow.run ~tech ~algorithm ?jobs ?gds_path:gds_out ?def_path:def_out aoi
+      in
       (match svg_out with
       | Some path ->
           Svg.write_file path r.Flow.layout;
@@ -215,11 +218,11 @@ let cmd_atpg input out_file =
 
 (* ---- report ---- *)
 
-let cmd_report input placer_name html_out =
+let cmd_report input placer_name html_out jobs =
   match (load_input input, placer_of_string placer_name) with
   | Error e, _ | _, Error e -> exit_err e
   | Ok aoi, Ok algorithm ->
-      let r = Flow.run ~algorithm aoi in
+      let r = Flow.run ~algorithm ?jobs aoi in
       let rep = Chip_report.of_flow r in
       Chip_report.print rep;
       (match html_out with
@@ -279,9 +282,16 @@ let router_arg =
   Arg.(value & opt string "sequential" & info [ "router" ] ~docv:"ROUTER"
          ~doc:"Routing algorithm: sequential or negotiated.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel stages (routing, placement \
+               gradients, STA, DRC). Defaults to the $(b,SF_JOBS) environment \
+               variable, then the machine's core count. Results are \
+               bit-identical for every value.")
+
 let route_cmd =
   Cmd.v (Cmd.info "route" ~doc:"Synthesize, place and route")
-    Term.(const cmd_route $ input_arg $ placer_arg $ router_arg)
+    Term.(const cmd_route $ input_arg $ placer_arg $ router_arg $ jobs_arg)
 
 let def_arg =
   Arg.(value & opt (some string) None & info [ "def" ] ~docv:"FILE"
@@ -298,7 +308,7 @@ let tech_arg =
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
     Term.(const cmd_flow $ input_arg $ placer_arg $ gds_arg $ def_arg $ svg_arg
-          $ tech_arg)
+          $ tech_arg $ jobs_arg)
 
 let timing_cmd =
   Cmd.v (Cmd.info "timing" ~doc:"Static timing analysis of a placed design")
@@ -337,7 +347,7 @@ let html_arg =
 
 let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Full design signoff report (area/wiring/timing/energy)")
-    Term.(const cmd_report $ input_arg $ placer_arg $ html_arg)
+    Term.(const cmd_report $ input_arg $ placer_arg $ html_arg $ jobs_arg)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's result tables")

@@ -23,12 +23,15 @@ type result = {
 let version = "0.1.0"
 
 let timed f =
-  let t0 = Sys.time () in
+  (* wall clock, not [Sys.time]: CPU time sums across domains and
+     overstates every parallel stage *)
+  let t0 = Wallclock.now_s () in
   let v = f () in
-  (v, Sys.time () -. t0)
+  (v, Wallclock.now_s () -. t0)
 
 let run ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
-    ?(router = Router.Sequential) ?(seed = 1) ?gds_path ?def_path aoi =
+    ?(router = Router.Sequential) ?(seed = 1) ?jobs ?gds_path ?def_path aoi =
+  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   (* 1. logic synthesis: AOI -> MAJ -> balanced AQFP netlist *)
   let (aqfp0, synth_report), synth_s = timed (fun () -> Synth_flow.run aoi) in
   (* 2. placement *)
@@ -98,15 +101,15 @@ let run ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     times = { synth_s; place_s; route_s; layout_s };
   }
 
-let run_verilog ?tech ?algorithm ?router ?gds_path ?def_path source =
+let run_verilog ?tech ?algorithm ?router ?jobs ?gds_path ?def_path source =
   match Verilog.parse source with
   | Error e -> Error e
-  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?gds_path ?def_path aoi)
+  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?jobs ?gds_path ?def_path aoi)
 
-let run_bench_file ?tech ?algorithm ?router ?gds_path ?def_path path =
+let run_bench_file ?tech ?algorithm ?router ?jobs ?gds_path ?def_path path =
   match Bench_parser.parse_file path with
   | Error e -> Error e
-  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?gds_path ?def_path aoi)
+  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?jobs ?gds_path ?def_path aoi)
 
 let pp_summary ppf r =
   let s = Layout.stats r.layout in

@@ -37,23 +37,29 @@ val run :
   ?algorithm:Placer.algorithm ->
   ?router:Router.algorithm ->
   ?seed:int ->
+  ?jobs:int ->
   ?gds_path:string ->
   ?def_path:string ->
   Netlist.t ->
   result
 (** Run the full flow on an AOI netlist. [algorithm] defaults to
     [Placer.Superflow] and [router] to [Router.Sequential];
-    [gds_path] writes the final GDSII stream; [def_path] the
-    DEF-style placement/routing dump. *)
+    [jobs] sets the domain-pool size for the parallel stages
+    (routing, placement gradients, STA, DRC) — results are
+    bit-identical at every value, see {!Parallel}; [gds_path]
+    writes the final GDSII stream; [def_path] the DEF-style
+    placement/routing dump. *)
 
 val run_verilog :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?gds_path:string -> ?def_path:string -> string -> (result, string) Stdlib.result
+  ?jobs:int -> ?gds_path:string -> ?def_path:string -> string ->
+  (result, string) Stdlib.result
 (** Full flow from Verilog source text. *)
 
 val run_bench_file :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?gds_path:string -> ?def_path:string -> string -> (result, string) Stdlib.result
+  ?jobs:int -> ?gds_path:string -> ?def_path:string -> string ->
+  (result, string) Stdlib.result
 (** Full flow from an ISCAS [.bench] file path. *)
 
 val version : string

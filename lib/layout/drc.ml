@@ -79,6 +79,20 @@ let spans_of_wires t horizontal =
              }
          else None)
 
+(* Sharded rule check: run [find lo hi emit] on fixed index chunks
+   across the domain pool; each chunk records its violations locally
+   and they are replayed into [push] in chunk order, so the report is
+   identical to a serial scan at any jobs count. *)
+let sharded_check ~chunk ~n push find =
+  let parts =
+    Parallel.map_chunks ~chunk ~n (fun lo hi ->
+        let acc = ref [] in
+        let emit rule at detail = acc := (rule, at, detail) :: !acc in
+        find lo hi emit;
+        List.rev !acc)
+  in
+  Array.iter (List.iter (fun (rule, at, detail) -> push rule at detail)) parts
+
 let check_wire_geometry t push =
   let tech = t.Layout.tech in
   let s_min = tech.Tech.s_min in
@@ -89,41 +103,47 @@ let check_wire_geometry t push =
     in
     let arr = Array.of_list spans in
     let n = Array.length arr in
-    for i = 0 to n - 1 do
-      let a = arr.(i) in
-      let j = ref (i + 1) in
-      while !j < n && arr.(!j).fixed -. a.fixed < s_min -. eps do
-        let b = arr.(!j) in
-        if b.net <> a.net && a.layer = b.layer then begin
-          let overlap = Float.min a.hi b.hi -. Float.max a.lo b.lo in
-          if overlap > eps then begin
-            let x, y =
-              if horizontal then (Float.max a.lo b.lo, b.fixed)
-              else (b.fixed, Float.max a.lo b.lo)
-            in
-            if Float.abs (b.fixed -. a.fixed) < eps then
-              push "wire-overlap" (Geom.pt x y)
-                (Printf.sprintf "nets %d/%d share a track" a.net b.net)
-            else
-              push "wire-spacing" (Geom.pt x y)
-                (Printf.sprintf "nets %d/%d %.1fum apart" a.net b.net
-                   (Float.abs (b.fixed -. a.fixed)))
-          end
-        end;
-        incr j
-      done
-    done
+    (* the sorted-span sweep only ever looks forward from i, so the
+       outer loop shards cleanly over the pool *)
+    sharded_check ~chunk:512 ~n push (fun lo hi emit ->
+        for i = lo to hi - 1 do
+          let a = arr.(i) in
+          let j = ref (i + 1) in
+          while !j < n && arr.(!j).fixed -. a.fixed < s_min -. eps do
+            let b = arr.(!j) in
+            if b.net <> a.net && a.layer = b.layer then begin
+              let overlap = Float.min a.hi b.hi -. Float.max a.lo b.lo in
+              if overlap > eps then begin
+                let x, y =
+                  if horizontal then (Float.max a.lo b.lo, b.fixed)
+                  else (b.fixed, Float.max a.lo b.lo)
+                in
+                if Float.abs (b.fixed -. a.fixed) < eps then
+                  emit "wire-overlap" (Geom.pt x y)
+                    (Printf.sprintf "nets %d/%d share a track" a.net b.net)
+                else
+                  emit "wire-spacing" (Geom.pt x y)
+                    (Printf.sprintf "nets %d/%d %.1fum apart" a.net b.net
+                       (Float.abs (b.fixed -. a.fixed)))
+              end
+            end;
+            incr j
+          done
+        done)
   in
   check_direction true;
   check_direction false;
-  Array.iter
-    (fun (w : Layout.wire) ->
-      List.iter
-        (fun (p : Geom.point) ->
-          if not (Tech.on_grid tech p.Geom.x && Tech.on_grid tech p.Geom.y) then
-            push "off-grid" p (Printf.sprintf "net %d wire endpoint off grid" w.Layout.net))
-        [ w.Layout.a; w.Layout.b ])
-    t.Layout.wires
+  sharded_check ~chunk:1024 ~n:(Array.length t.Layout.wires) push
+    (fun lo hi emit ->
+      for i = lo to hi - 1 do
+        let w = t.Layout.wires.(i) in
+        List.iter
+          (fun (p : Geom.point) ->
+            if not (Tech.on_grid tech p.Geom.x && Tech.on_grid tech p.Geom.y) then
+              emit "off-grid" p
+                (Printf.sprintf "net %d wire endpoint off grid" w.Layout.net))
+          [ w.Layout.a; w.Layout.b ]
+      done)
 
 (* zigzag: a segment between two vias of its net must be >= s_min *)
 let check_zigzag t push =
@@ -133,18 +153,22 @@ let check_zigzag t push =
   in
   Array.iter (fun (v : Layout.via) -> Hashtbl.replace via_set (key v.Layout.net v.Layout.at) ())
     t.Layout.vias;
-  Array.iter
-    (fun (w : Layout.wire) ->
-      let len = Geom.dist_manhattan w.Layout.a w.Layout.b in
-      if
-        len > eps
-        && len < t.Layout.tech.Tech.s_min -. eps
-        && Hashtbl.mem via_set (key w.Layout.net w.Layout.a)
-        && Hashtbl.mem via_set (key w.Layout.net w.Layout.b)
-      then
-        push "zigzag-spacing" w.Layout.a
-          (Printf.sprintf "net %d bend-to-bend run %.1fum < s_min" w.Layout.net len))
-    t.Layout.wires
+  (* the via table is read-only from here on, so wires shard freely *)
+  sharded_check ~chunk:1024 ~n:(Array.length t.Layout.wires) push
+    (fun lo hi emit ->
+      for i = lo to hi - 1 do
+        let w = t.Layout.wires.(i) in
+        let len = Geom.dist_manhattan w.Layout.a w.Layout.b in
+        if
+          len > eps
+          && len < t.Layout.tech.Tech.s_min -. eps
+          && Hashtbl.mem via_set (key w.Layout.net w.Layout.a)
+          && Hashtbl.mem via_set (key w.Layout.net w.Layout.b)
+        then
+          emit "zigzag-spacing" w.Layout.a
+            (Printf.sprintf "net %d bend-to-bend run %.1fum < s_min" w.Layout.net
+               len)
+      done)
 
 (* vias must land on an endpoint of wires of both layers of their net *)
 let check_vias t push =
@@ -161,16 +185,19 @@ let check_vias t push =
           Hashtbl.replace ends k (w.Layout.layer :: cur))
         [ w.Layout.a; w.Layout.b ])
     t.Layout.wires;
-  Array.iter
-    (fun (v : Layout.via) ->
-      let layers =
-        Option.value ~default:[] (Hashtbl.find_opt ends (key v.Layout.net v.Layout.at))
-        |> List.sort_uniq compare
-      in
-      if List.length layers < 2 then
-        push "via-alignment" v.Layout.at
-          (Printf.sprintf "net %d via does not join two layers" v.Layout.net))
-    t.Layout.vias
+  sharded_check ~chunk:1024 ~n:(Array.length t.Layout.vias) push
+    (fun lo hi emit ->
+      for i = lo to hi - 1 do
+        let v = t.Layout.vias.(i) in
+        let layers =
+          Option.value ~default:[]
+            (Hashtbl.find_opt ends (key v.Layout.net v.Layout.at))
+          |> List.sort_uniq compare
+        in
+        if List.length layers < 2 then
+          emit "via-alignment" v.Layout.at
+            (Printf.sprintf "net %d via does not join two layers" v.Layout.net)
+      done)
 
 let check_density t options push =
   let window = options.density_window in

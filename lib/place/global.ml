@@ -91,12 +91,14 @@ let cell_nets p =
    biased against the four-phase timing gradient. *)
 let desired_positions p nets_of ~timing_bias =
   let n = Array.length p.Problem.cells in
-  let desired = Array.make n 0.0 in
   let row_width = Float.max 1.0 (Problem.row_width p) in
-  for ci = 0 to n - 1 do
+  (* each cell's target is a pure function of current positions, so
+     cells fan out over the pool; fixed chunking keeps the result
+     identical at every jobs count *)
+  Parallel.parallel_init ~chunk:256 n (fun ci ->
     let c = p.Problem.cells.(ci) in
     match nets_of.(ci) with
-    | [] -> desired.(ci) <- c.Problem.x
+    | [] -> c.Problem.x
     | nets ->
         let sum = ref 0.0 and count = ref 0 in
         let tgrad = ref 0.0 in
@@ -135,9 +137,7 @@ let desired_positions p nets_of ~timing_bias =
            and damping turns it into a bounded positional nudge *)
         let nudge = timing_bias *. !tgrad /. float_of_int !count in
         let nudge = Float.max (-50.0) (Float.min 50.0 nudge) in
-        desired.(ci) <- Float.max 0.0 (bary -. nudge)
-  done;
-  desired
+        Float.max 0.0 (bary -. nudge))
 
 let sweep_cost p ~timing_weight =
   let tc = Problem.timing_cost p () in

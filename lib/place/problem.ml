@@ -156,17 +156,27 @@ let hpwl t = Array.fold_left (fun acc e -> acc +. Float.abs (net_dx t e)) 0.0 t.
 
 let timing_cost t ?(alpha = 2.0) () =
   let w = row_width t in
-  Array.fold_left
-    (fun acc e ->
-      let sc = t.cells.(e.src) in
-      let xs = sc.x +. sc.lib.Cell.out_pins.(e.src_pin) in
-      let dc = t.cells.(e.dst) in
-      let pins = dc.lib.Cell.in_pins in
-      let xd = dc.x +. pins.(e.dst_pin mod Array.length pins) in
-      acc
-      +. Clocking.timing_cost t.tech ~row_width:w ~phase:sc.row ~x_start:xs
-           ~x_end:xd ~alpha)
-    0.0 t.nets
+  (* hot inside the detailed-placement sweeps: map-reduce over fixed
+     net chunks, partial sums combined left-to-right so the value does
+     not depend on the domain count *)
+  let parts =
+    Parallel.map_chunks ~chunk:2048 ~n:(Array.length t.nets) (fun lo hi ->
+        let acc = ref 0.0 in
+        for i = lo to hi - 1 do
+          let e = t.nets.(i) in
+          let sc = t.cells.(e.src) in
+          let xs = sc.x +. sc.lib.Cell.out_pins.(e.src_pin) in
+          let dc = t.cells.(e.dst) in
+          let pins = dc.lib.Cell.in_pins in
+          let xd = dc.x +. pins.(e.dst_pin mod Array.length pins) in
+          acc :=
+            !acc
+            +. Clocking.timing_cost t.tech ~row_width:w ~phase:sc.row
+                 ~x_start:xs ~x_end:xd ~alpha
+        done;
+        !acc)
+  in
+  Array.fold_left ( +. ) 0.0 parts
 
 let max_net_length t =
   Array.fold_left (fun acc e -> Float.max acc (net_length t e)) 0.0 t.nets

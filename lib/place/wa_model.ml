@@ -59,36 +59,56 @@ let cost_and_grad p w xs =
   let grad = Array.make n 0.0 in
   let cost = ref 0.0 in
   let row_width = Problem.row_width p in
-  (* wirelength + timing + max-wirelength, per net *)
-  Array.iter
-    (fun e ->
+  (* wirelength + timing + max-wirelength: map-reduce over net chunks.
+     Each chunk accumulates into its own cost cell and full-size
+     gradient buffer; buffers are summed left-to-right afterwards, so
+     the result is independent of how many domains ran the chunks.
+     (Chunk size is fixed, never derived from the pool size — that is
+     the determinism contract of [Parallel.map_chunks].) *)
+  let net_chunk lo hi =
+    let ccost = ref 0.0 in
+    let cgrad = Array.make n 0.0 in
+    for i = lo to hi - 1 do
+      let e = p.Problem.nets.(i) in
       let xa = src_pin_x p e xs and xb = dst_pin_x p e xs in
       let v, dva, dvb = wa_abs w.gamma xa xb in
-      cost := !cost +. v;
-      grad.(e.Problem.src) <- grad.(e.Problem.src) +. dva;
-      grad.(e.Problem.dst) <- grad.(e.Problem.dst) +. dvb;
+      ccost := !ccost +. v;
+      cgrad.(e.Problem.src) <- cgrad.(e.Problem.src) +. dva;
+      cgrad.(e.Problem.dst) <- cgrad.(e.Problem.dst) +. dvb;
       (* timing *)
       let phase = p.Problem.cells.(e.Problem.src).Problem.row in
       let base, dbs, dbd = timing_base phase ~row_width ~xs_pin:xa ~xd_pin:xb in
       if base > 0.0 then begin
         let t = base ** w.alpha in
         let dt = w.alpha *. (base ** (w.alpha -. 1.0)) in
-        cost := !cost +. (w.lambda_t *. t);
-        grad.(e.Problem.src) <- grad.(e.Problem.src) +. (w.lambda_t *. dt *. dbs);
-        grad.(e.Problem.dst) <- grad.(e.Problem.dst) +. (w.lambda_t *. dt *. dbd)
+        ccost := !ccost +. (w.lambda_t *. t);
+        cgrad.(e.Problem.src) <- cgrad.(e.Problem.src) +. (w.lambda_t *. dt *. dbs);
+        cgrad.(e.Problem.dst) <- cgrad.(e.Problem.dst) +. (w.lambda_t *. dt *. dbd)
       end;
       (* max-wirelength penalty on |dx| + dy *)
       let dy = Problem.net_dy p e in
       let len = Float.abs (xb -. xa) +. dy in
       let excess = len -. p.Problem.tech.Tech.w_max in
       if excess > 0.0 then begin
-        cost := !cost +. (w.lambda_w *. excess *. excess);
+        ccost := !ccost +. (w.lambda_w *. excess *. excess);
         let sign = if xb >= xa then 1.0 else -1.0 in
         let d = 2.0 *. w.lambda_w *. excess in
-        grad.(e.Problem.src) <- grad.(e.Problem.src) -. (d *. sign);
-        grad.(e.Problem.dst) <- grad.(e.Problem.dst) +. (d *. sign)
-      end)
-    p.Problem.nets;
+        cgrad.(e.Problem.src) <- cgrad.(e.Problem.src) -. (d *. sign);
+        cgrad.(e.Problem.dst) <- cgrad.(e.Problem.dst) +. (d *. sign)
+      end
+    done;
+    (!ccost, cgrad)
+  in
+  let parts =
+    Parallel.map_chunks ~chunk:1024 ~n:(Array.length p.Problem.nets) net_chunk
+  in
+  Array.iter
+    (fun (ccost, cgrad) ->
+      cost := !cost +. ccost;
+      for i = 0 to n - 1 do
+        grad.(i) <- grad.(i) +. cgrad.(i)
+      done)
+    parts;
   (* row-density: quadratic penalty on pairwise overlap of row
      neighbors (by current order in xs) *)
   Array.iter

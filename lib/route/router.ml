@@ -19,12 +19,16 @@ exception Unroutable of int
 let dir_h = 0
 let dir_v = 1
 
+(* A pair grid lives in pair-local coordinates: x from 0 at the row's
+   left edge, y from 0 at the top of row [r]. Keeping the grid free of
+   absolute y lets every row pair be routed on its own domain — a
+   pair's decisions depend only on its own row's cells and its own
+   gap, never on how much space pairs above it grabbed. Absolute
+   coordinates are restored after all pairs finish (see [route_all]). *)
 type pair_grid = {
   nx : int;
   ny : int;
   grid : float;
-  x0 : float;
-  y0 : float;
   blocked : bool array; (* nodes, nx*ny *)
   blocked_h : bool array; (* nodes where horizontal runs are forbidden
                              (cell pin edges, region boundaries) *)
@@ -34,21 +38,21 @@ type pair_grid = {
   node_v : int array;
 }
 
-let make_grid p r ~margin =
+(* [gap] is the pair's own routing gap (the caller tracks growth
+   locally during space expansion and commits it to
+   [Problem.row_gaps] once routing settles). *)
+let make_grid p r ~margin ~gap =
   let tech = p.Problem.tech in
   let grid = tech.Tech.grid in
-  let y0 = Problem.row_top p r in
-  let y1 = Problem.row_top p (r + 1) in
+  let height = p.Problem.row_height +. gap in
   let width = Problem.row_width p +. margin in
   let nx = (int_of_float (width /. grid)) + 1 in
-  let ny = (int_of_float ((y1 -. y0) /. grid +. 0.5)) + 1 in
+  let ny = (int_of_float (height /. grid +. 0.5)) + 1 in
   let g =
     {
       nx;
       ny;
       grid;
-      x0 = 0.0;
-      y0;
       blocked = Array.make (nx * ny) false;
       blocked_h = Array.make (nx * ny) false;
       h_owner = Array.make (nx * ny) (-1);
@@ -91,7 +95,7 @@ let astar g ~via_cost ~net ~sx ~sy ~gx ~gy =
   let n_states = nx * ny * 2 in
   let dist = Array.make n_states infinity in
   let parent = Array.make n_states (-1) in
-  let queue = Pqueue.create () in
+  let queue = Fheap.create () in
   let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
   let heuristic ix iy =
     g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy))
@@ -109,13 +113,13 @@ let astar g ~via_cost ~net ~sx ~sy ~gx ~gy =
       let s = state sx (sy + 1) dir_v in
       dist.(s) <- g.grid;
       parent.(s) <- -2;
-      Pqueue.push queue (g.grid +. heuristic sx (sy + 1)) s
+      Fheap.push queue (g.grid +. heuristic sx (sy + 1)) s
     end
   end;
   let goal_state = ref (-1) in
   let continue = ref true in
   while !continue do
-    match Pqueue.pop queue with
+    match Fheap.pop queue with
     | None -> continue := false
     | Some (prio, s) ->
         let d = dist.(s) in
@@ -147,7 +151,7 @@ let astar g ~via_cost ~net ~sx ~sy ~gx ~gy =
                   if nd < dist.(ns) -. 1e-9 then begin
                     dist.(ns) <- nd;
                     parent.(ns) <- s;
-                    Pqueue.push queue (nd +. heuristic nix niy) ns
+                    Fheap.push queue (nd +. heuristic nix niy) ns
                   end
                 end
               end
@@ -203,9 +207,11 @@ let commit g ~net path =
   in
   claim path
 
-let path_to_route g ~net path =
+(* Convert a pair-local path to absolute coordinates; [y0] is the top
+   of the pair's upper row once every pair's gap growth is known. *)
+let path_to_route ~grid ~y0 ~net path =
   let coords =
-    List.map (fun (ix, iy, _) -> (g.x0 +. (float_of_int ix *. g.grid), g.y0 +. (float_of_int iy *. g.grid))) path
+    List.map (fun (ix, iy, _) -> (0.0 +. (float_of_int ix *. grid), y0 +. (float_of_int iy *. grid))) path
   in
   (* keep corners only *)
   let rec simplify = function
@@ -216,7 +222,7 @@ let path_to_route g ~net path =
     | [] -> []
   in
   let points = simplify coords in
-  let length = g.grid *. float_of_int (List.length path - 1) in
+  let length = grid *. float_of_int (List.length path - 1) in
   let vias = max 0 (List.length points - 2) in
   { net; points; vias; length }
 
@@ -268,7 +274,7 @@ let astar_negotiated g neg ~via_cost ~present ~net ~sx ~sy ~gx ~gy =
   let n_states = nx * ny * 2 in
   let dist = Array.make n_states infinity in
   let parent = Array.make n_states (-1) in
-  let queue = Pqueue.create () in
+  let queue = Fheap.create () in
   let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
   let heuristic ix iy = g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy)) in
   let hard_ok owner idx = owner.(idx) = -1 || owner.(idx) = net in
@@ -285,13 +291,13 @@ let astar_negotiated g neg ~via_cost ~present ~net ~sx ~sy ~gx ~gy =
       let s = state sx (sy + 1) dir_v in
       dist.(s) <- g.grid;
       parent.(s) <- -2;
-      Pqueue.push queue (g.grid +. heuristic sx (sy + 1)) s
+      Fheap.push queue (g.grid +. heuristic sx (sy + 1)) s
     end
   end;
   let goal_state = ref (-1) in
   let continue = ref true in
   while !continue do
-    match Pqueue.pop queue with
+    match Fheap.pop queue with
     | None -> continue := false
     | Some (prio, s) ->
         let d = dist.(s) in
@@ -325,7 +331,7 @@ let astar_negotiated g neg ~via_cost ~present ~net ~sx ~sy ~gx ~gy =
                   if nd < dist.(ns) -. 1e-9 then begin
                     dist.(ns) <- nd;
                     parent.(ns) <- s;
-                    Pqueue.push queue (nd +. heuristic nix niy) ns
+                    Fheap.push queue (nd +. heuristic nix niy) ns
                   end
                 end
               end
@@ -454,15 +460,129 @@ let negotiate_pair g endpoints ~via_cost ~max_iterations =
 
 type algorithm = Sequential | Negotiated
 
+(* everything a finished pair hands back to the merge step: routed
+   paths still in pair-local grid indices, plus the gap the pair ended
+   up needing and how many expansion steps it took to get there *)
+type pair_outcome = {
+  pair_paths : (int * (int * int * int) list) list; (* (net, path), net order *)
+  pair_gap : float;
+  pair_expansions : int;
+}
+
+(* Route one row pair start to finish: ordering, pin reservation,
+   claiming (or negotiation), promotion retries, space expansion. Pure
+   with respect to shared state — reads only row [r]'s cells and its
+   starting gap, tracks gap growth locally — so pairs can run on
+   separate domains and still produce bit-identical results in any
+   interleaving. *)
+let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
+  let tech = p.Problem.tech in
+  let grid = tech.Tech.grid in
+  let gap = ref p.Problem.row_gaps.(r) in
+  let expansions = ref 0 in
+  (* a net that failed an attempt is promoted to the front of the next
+     one: often it just needs first pick of the tracks, which is much
+     cheaper than growing the channel *)
+  let promoted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let order_nets () =
+    List.sort
+      (fun a b ->
+        let prio n = if Hashtbl.mem promoted n then 0 else 1 in
+        compare
+          (prio a, Float.abs (Problem.net_dx p p.Problem.nets.(a)))
+          (prio b, Float.abs (Problem.net_dx p p.Problem.nets.(b))))
+      nets
+  in
+  let rec attempt ~promotions tries =
+    let nets = order_nets () in
+    let g = make_grid p r ~margin ~gap:!gap in
+    let to_grid_x x = int_of_float (x /. grid +. 0.5) in
+    let to_grid_y y = int_of_float (y /. grid +. 0.5) in
+    (* reserve every net's pin-escape edges up front so early-routed nets
+       cannot wall in a later net's pins *)
+    let endpoints =
+      List.map
+        (fun ni ->
+          let e = p.Problem.nets.(ni) in
+          let sc = p.Problem.cells.(e.Problem.src) in
+          let sx = to_grid_x (Problem.pin_x p ni `Src) in
+          let sy = to_grid_y sc.Problem.lib.Cell.height in
+          let gx = to_grid_x (Problem.pin_x p ni `Dst) in
+          let gy = g.ny - 1 in
+          (ni, sx, sy, gx, gy))
+        nets
+    in
+    List.iter
+      (fun (ni, sx, sy, gx, gy) ->
+        (* escape edges and the vertical occupancy of the pin-adjacent
+           nodes: without this an earlier net's vertical run through
+           (gx, gy-1) would make the final descent impossible no
+           matter how much space expansion adds *)
+        if sy < g.ny - 1 then begin
+          g.v_owner.((sy * g.nx) + sx) <- ni;
+          g.node_v.(node_index g sx sy) <- ni;
+          g.node_v.(node_index g sx (sy + 1)) <- ni;
+          g.node_h.(node_index g sx (sy + 1)) <- ni
+        end;
+        if gy > 0 then begin
+          g.v_owner.(((gy - 1) * g.nx) + gx) <- ni;
+          g.node_v.(node_index g gx gy) <- ni;
+          g.node_v.(node_index g gx (gy - 1)) <- ni;
+          g.node_h.(node_index g gx (gy - 1)) <- ni
+        end)
+      endpoints;
+    let failed = ref None in
+    let paths = ref [] in
+    (match algorithm with
+    | Negotiated -> (
+        match negotiate_pair g endpoints ~via_cost ~max_iterations:24 with
+        | Some routed ->
+            List.iter
+              (fun (ni, path) ->
+                commit g ~net:ni path;
+                paths := (ni, path) :: !paths)
+              routed
+        | None -> (
+            (* negotiation failed: fall back to sequential claiming in
+               this geometry, then to space expansion *)
+            match endpoints with
+            | (first, _, _, _, _) :: _ -> failed := Some first
+            | [] -> ()))
+    | Sequential ->
+        List.iter
+          (fun (ni, sx, sy, gx, gy) ->
+            if !failed = None then
+              match astar g ~via_cost ~net:ni ~sx ~sy ~gx ~gy with
+              | Some path ->
+                  commit g ~net:ni path;
+                  paths := (ni, path) :: !paths
+              | None -> failed := Some ni)
+          endpoints);
+    match !failed with
+    | None ->
+        { pair_paths = List.rev !paths; pair_gap = !gap; pair_expansions = !expansions }
+    | Some ni ->
+        if promotions < 3 && not (Hashtbl.mem promoted ni) then begin
+          Hashtbl.replace promoted ni ();
+          attempt ~promotions:(promotions + 1) tries
+        end
+        else begin
+          if tries >= max_expansions then raise (Unroutable ni);
+          incr expansions;
+          gap := !gap +. tech.Tech.s_min;
+          attempt ~promotions (tries + 1)
+        end
+  in
+  attempt ~promotions:0 0
+
 let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
     ?(algorithm = Sequential) p =
-  let t0 = Sys.time () in
+  let t0 = Wallclock.now_s () in
   let tech = p.Problem.tech in
   let grid = tech.Tech.grid in
   let margin = 30.0 *. grid in
   let n_nets = Array.length p.Problem.nets in
   let routes = Array.make n_nets None in
-  let expansions = ref 0 in
   (* nets grouped by source row *)
   let by_row = Array.make (max 1 p.Problem.n_rows) [] in
   Array.iteri
@@ -470,104 +590,50 @@ let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
       let r = p.Problem.cells.(e.Problem.src).Problem.row in
       by_row.(r) <- ni :: by_row.(r))
     p.Problem.nets;
-  (* a net that failed an attempt is promoted to the front of the next
-     one: often it just needs first pick of the tracks, which is much
-     cheaper than growing the channel *)
-  let promoted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  for r = 0 to p.Problem.n_rows - 2 do
-    let order_nets () =
-      List.sort
-        (fun a b ->
-          let prio n = if Hashtbl.mem promoted n then 0 else 1 in
-          compare
-            (prio a, Float.abs (Problem.net_dx p p.Problem.nets.(a)))
-            (prio b, Float.abs (Problem.net_dx p p.Problem.nets.(b))))
-        by_row.(r)
-    in
-    let rec attempt ~promotions tries =
-      let nets = order_nets () in
-      let g = make_grid p r ~margin in
-      let to_grid_x x = int_of_float ((x -. g.x0) /. grid +. 0.5) in
-      let to_grid_y y = int_of_float ((y -. g.y0) /. grid +. 0.5) in
-      (* reserve every net's pin-escape edges up front so early-routed nets
-         cannot wall in a later net's pins *)
-      let endpoints =
-        List.map
-          (fun ni ->
-            let e = p.Problem.nets.(ni) in
-            let sc = p.Problem.cells.(e.Problem.src) in
-            let sx = to_grid_x (Problem.pin_x p ni `Src) in
-            let sy = to_grid_y (Problem.row_top p r +. sc.Problem.lib.Cell.height) in
-            let gx = to_grid_x (Problem.pin_x p ni `Dst) in
-            let gy = g.ny - 1 in
-            (ni, sx, sy, gx, gy))
-          nets
-      in
-      List.iter
-        (fun (ni, sx, sy, gx, gy) ->
-          (* escape edges and the vertical occupancy of the pin-adjacent
-             nodes: without this an earlier net's vertical run through
-             (gx, gy-1) would make the final descent impossible no
-             matter how much space expansion adds *)
-          if sy < g.ny - 1 then begin
-            g.v_owner.((sy * g.nx) + sx) <- ni;
-            g.node_v.(node_index g sx sy) <- ni;
-            g.node_v.(node_index g sx (sy + 1)) <- ni;
-            g.node_h.(node_index g sx (sy + 1)) <- ni
-          end;
-          if gy > 0 then begin
-            g.v_owner.(((gy - 1) * g.nx) + gx) <- ni;
-            g.node_v.(node_index g gx gy) <- ni;
-            g.node_v.(node_index g gx (gy - 1)) <- ni;
-            g.node_h.(node_index g gx (gy - 1)) <- ni
-          end)
-        endpoints;
-      let failed = ref None in
-      (match algorithm with
-      | Negotiated -> (
-          match negotiate_pair g endpoints ~via_cost ~max_iterations:24 with
-          | Some paths ->
-              List.iter
-                (fun (ni, path) ->
-                  commit g ~net:ni path;
-                  routes.(ni) <- Some (path_to_route g ~net:ni path))
-                paths
-          | None -> (
-              (* negotiation failed: fall back to sequential claiming in
-                 this geometry, then to space expansion *)
-              match endpoints with
-              | (first, _, _, _, _) :: _ -> failed := Some first
-              | [] -> ()))
-      | Sequential ->
+  let n_pairs = max 0 (p.Problem.n_rows - 1) in
+  (* route all pairs concurrently (one task per pair, in row order);
+     failures are captured per pair and re-raised deterministically *)
+  let outcomes =
+    Parallel.map_chunks ~chunk:1 ~n:n_pairs (fun r _ ->
+        try
+          Ok
+            (route_pair p r ~nets:by_row.(r) ~via_cost ~max_expansions
+               ~algorithm ~margin)
+        with e -> Error e)
+  in
+  (* merge in row order: commit gap growth (raising the leftmost
+     pair's failure, with earlier pairs' gaps committed, exactly like
+     the serial loop did), then convert paths to absolute coordinates
+     now that every row's final top is known *)
+  Array.iteri
+    (fun r outcome ->
+      match outcome with
+      | Ok oc -> p.Problem.row_gaps.(r) <- oc.pair_gap
+      | Error e -> raise e)
+    outcomes;
+  let expansions = ref 0 in
+  Array.iteri
+    (fun r oc ->
+      match oc with
+      | Error _ -> assert false
+      | Ok oc ->
+          expansions := !expansions + oc.pair_expansions;
+          let y0 = Problem.row_top p r in
           List.iter
-            (fun (ni, sx, sy, gx, gy) ->
-              if !failed = None then
-                match astar g ~via_cost ~net:ni ~sx ~sy ~gx ~gy with
-                | Some path ->
-                    commit g ~net:ni path;
-                    routes.(ni) <- Some (path_to_route g ~net:ni path)
-                | None -> failed := Some ni)
-            endpoints);
-      match !failed with
-      | None -> ()
-      | Some ni ->
-          if promotions < 3 && not (Hashtbl.mem promoted ni) then begin
-            Hashtbl.replace promoted ni ();
-            attempt ~promotions:(promotions + 1) tries
-          end
-          else begin
-            if tries >= max_expansions then raise (Unroutable ni);
-            incr expansions;
-            p.Problem.row_gaps.(r) <- p.Problem.row_gaps.(r) +. tech.Tech.s_min;
-            attempt ~promotions (tries + 1)
-          end
-    in
-    attempt ~promotions:0 0
-  done;
+            (fun (ni, path) ->
+              routes.(ni) <- Some (path_to_route ~grid ~y0 ~net:ni path))
+            oc.pair_paths)
+    outcomes;
   let routes = Array.map Option.get routes in
   let wirelength = Array.fold_left (fun acc r -> acc +. r.length) 0.0 routes in
   let total_vias = Array.fold_left (fun acc r -> acc + r.vias) 0 routes in
-  { routes; expansions = !expansions; wirelength; total_vias; runtime_s = Sys.time () -. t0 }
+  {
+    routes;
+    expansions = !expansions;
+    wirelength;
+    total_vias;
+    runtime_s = Wallclock.now_s () -. t0;
+  }
 
 let check_routes p result =
   let problems = ref [] in

@@ -37,7 +37,12 @@ let net_slack_ps p ~row_width ni =
 let analyze p =
   let row_width = Float.max 1.0 (Problem.row_width p) in
   let n = Array.length p.Problem.nets in
-  let timings = Array.init n (fun ni -> net_slack_ps p ~row_width ni) in
+  (* per-sink slack is independent per net: fan out over the domain
+     pool (fixed chunking keeps the array — and therefore wns/tns and
+     the sorted worst list — identical at every jobs count) *)
+  let timings =
+    Parallel.parallel_init ~chunk:512 n (fun ni -> net_slack_ps p ~row_width ni)
+  in
   let wns = ref infinity and tns = ref 0.0 and violations = ref 0 in
   Array.iter
     (fun t ->
@@ -123,7 +128,7 @@ let analyze_routed p (routed : Router.result) =
   let row_width = Float.max 1.0 (Problem.row_width p) in
   let n = Array.length p.Problem.nets in
   let timings =
-    Array.init n (fun ni ->
+    Parallel.parallel_init ~chunk:512 n (fun ni ->
         let t = net_slack_ps p ~row_width ni in
         (* replace the Manhattan flight with the routed length *)
         let routed_flight =

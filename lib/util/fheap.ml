@@ -1,0 +1,83 @@
+(* Array-backed binary min-heap specialized to (float priority, int
+   payload) pairs — the shape of every A* open list in the router.
+
+   The polymorphic pairing heap in [Pqueue] allocates a node per push
+   and a list cell per meld, which makes the A* inner loop GC-bound.
+   This heap allocates nothing per operation (amortized): two flat
+   arrays, grown by doubling, hold the whole queue, and the floats
+   live unboxed in a float array. *)
+
+type t = {
+  mutable prio : float array;
+  mutable data : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  { prio = Array.make capacity 0.0; data = Array.make capacity 0; size = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let clear t = t.size <- 0
+
+let grow t =
+  let cap = Array.length t.prio in
+  let prio = Array.make (2 * cap) 0.0 in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit t.prio 0 prio 0 t.size;
+  Array.blit t.data 0 data 0 t.size;
+  t.prio <- prio;
+  t.data <- data
+
+let push t p v =
+  if t.size = Array.length t.prio then grow t;
+  (* sift up: move holes, write once *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.prio.(parent) > p then begin
+      t.prio.(!i) <- t.prio.(parent);
+      t.data.(!i) <- t.data.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.prio.(!i) <- p;
+  t.data.(!i) <- v
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top_p = t.prio.(0) and top_v = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      (* sift the last element down from the root *)
+      let p = t.prio.(t.size) and v = t.data.(t.size) in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        if l >= t.size then continue := false
+        else begin
+          let r = l + 1 in
+          let c = if r < t.size && t.prio.(r) < t.prio.(l) then r else l in
+          if t.prio.(c) < p then begin
+            t.prio.(!i) <- t.prio.(c);
+            t.data.(!i) <- t.data.(c);
+            i := c
+          end
+          else continue := false
+        end
+      done;
+      t.prio.(!i) <- p;
+      t.data.(!i) <- v
+    end;
+    Some (top_p, top_v)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.prio.(0), t.data.(0))

@@ -1,0 +1,34 @@
+(** Mutable min-priority queue specialized to [(float, int)] pairs:
+    an array-backed binary heap with unboxed float priorities and zero
+    per-operation allocation (amortized).
+
+    This is the open list of the router's A* searches — the single
+    hottest loop in the flow — where the polymorphic pairing heap in
+    {!Pqueue} spends its time allocating nodes. [Pqueue] remains the
+    general-purpose queue for non-[int] payloads.
+
+    Like [Pqueue] there is no decrease-key: push duplicates and skip
+    stale entries (lazy deletion). Pop order is fully deterministic
+    (ties resolve by fixed array positions, never by allocation
+    order). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh empty heap. [capacity] (default 64) pre-sizes the backing
+    arrays; they grow by doubling. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val push : t -> float -> int -> unit
+(** [push q prio v] inserts [v] with priority [prio]; lower priorities
+    pop first. *)
+
+val pop : t -> (float * int) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : t -> (float * int) option
+
+val clear : t -> unit

@@ -1,0 +1,213 @@
+(* Deterministic multicore execution on a lazily-built fixed domain
+   pool.
+
+   Determinism contract: work is split into *static* chunks whose
+   boundaries depend only on the input size (never on the pool size or
+   on scheduling), each chunk is computed independently, and partial
+   results are combined left-to-right in chunk order. A run with one
+   domain therefore evaluates the exact same float expressions, in the
+   exact same grouping, as a run with sixteen — only the wall-clock
+   interleaving differs. *)
+
+let max_jobs = 64
+
+let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
+
+let env_jobs () =
+  match Sys.getenv_opt "SF_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (clamp n)
+      | _ -> None)
+
+let requested : int option ref = ref None
+
+let jobs () =
+  match !requested with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> clamp (Domain.recommended_domain_count ()))
+
+let set_jobs n = requested := Some (clamp n)
+
+let auto_jobs () = requested := None
+
+(* ---- the pool ----
+
+   [jobs () - 1] worker domains block on a condition variable waiting
+   for thunks; the submitting domain executes thunks too, so a pool of
+   size n really computes with n lanes. Completion is tracked per batch
+   with an atomic counter (workers publish their chunk results before
+   the decrement, so the counter doubles as the release fence). *)
+
+type pool = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* a chunk function that itself calls into Parallel must run inline:
+   a worker blocking on a sub-batch could deadlock the pool *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let current : pool option ref = ref None
+
+let current_size = ref 0
+
+let shutdown () =
+  match !current with
+  | None -> ()
+  | Some pool ->
+      Mutex.lock pool.mutex;
+      pool.stop <- true;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex;
+      List.iter Domain.join pool.workers;
+      current := None;
+      current_size := 0
+
+let () = at_exit shutdown
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.cond pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+(* (re)build the pool to match [jobs ()]; [None] means run serially *)
+let ensure_pool () =
+  let n = jobs () in
+  if n <> !current_size then shutdown ();
+  if n <= 1 then None
+  else
+    match !current with
+    | Some p -> Some p
+    | None ->
+        let pool =
+          {
+            mutex = Mutex.create ();
+            cond = Condition.create ();
+            queue = Queue.create ();
+            stop = false;
+            workers = [];
+          }
+        in
+        pool.workers <-
+          List.init (n - 1) (fun _ -> Domain.spawn (worker_loop pool));
+        current := Some pool;
+        current_size := n;
+        Some pool
+
+let run_tasks (tasks : (unit -> unit) array) =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if n = 1 || Domain.DLS.get in_worker then
+    Array.iter (fun f -> f ()) tasks
+  else
+    match ensure_pool () with
+    | None -> Array.iter (fun f -> f ()) tasks
+    | Some pool ->
+        let remaining = Atomic.make n in
+        let wrap f () =
+          f ();
+          Atomic.decr remaining
+        in
+        Mutex.lock pool.mutex;
+        Array.iter (fun f -> Queue.push (wrap f) pool.queue) tasks;
+        Condition.broadcast pool.cond;
+        Mutex.unlock pool.mutex;
+        (* the caller is a lane too: drain the queue alongside the
+           workers, then spin briefly for in-flight stragglers *)
+        let rec drain () =
+          Mutex.lock pool.mutex;
+          let t =
+            if Queue.is_empty pool.queue then None
+            else Some (Queue.pop pool.queue)
+          in
+          Mutex.unlock pool.mutex;
+          match t with
+          | Some f ->
+              f ();
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        while Atomic.get remaining > 0 do
+          Domain.cpu_relax ()
+        done
+
+(* default chunking: a pure function of the input size (64 pieces),
+   so the chunk structure is identical whatever the pool size *)
+let default_chunk n = max 1 ((n + 63) / 64)
+
+let map_chunks ?chunk ~n f =
+  if n <= 0 then [||]
+  else begin
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> default_chunk n
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let results = Array.make n_chunks None in
+    let task ci () =
+      let lo = ci * chunk in
+      let hi = min n (lo + chunk) in
+      results.(ci) <- Some (try Ok (f lo hi) with e -> Error e)
+    in
+    run_tasks (Array.init n_chunks task);
+    (* surface the leftmost chunk's failure so error behavior does not
+       depend on scheduling *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let parallel_init ?chunk n f =
+  let parts =
+    map_chunks ?chunk ~n (fun lo hi ->
+        Array.init (hi - lo) (fun k -> f (lo + k)))
+  in
+  Array.concat (Array.to_list parts)
+
+let parallel_map ?chunk f a =
+  parallel_init ?chunk (Array.length a) (fun i -> f a.(i))
+
+let parallel_iter ?chunk f a =
+  ignore
+    (map_chunks ?chunk ~n:(Array.length a) (fun lo hi ->
+         for i = lo to hi - 1 do
+           f a.(i)
+         done))
+
+let parallel_reduce ?chunk ~map ~combine ~init a =
+  let n = Array.length a in
+  if n = 0 then init
+  else begin
+    let parts =
+      map_chunks ?chunk ~n (fun lo hi ->
+          let acc = ref (map a.(lo)) in
+          for i = lo + 1 to hi - 1 do
+            acc := combine !acc (map a.(i))
+          done;
+          !acc)
+    in
+    Array.fold_left combine init parts
+  end

@@ -1,0 +1,74 @@
+(** Deterministic multicore execution on a lazily-built fixed domain
+    pool (OCaml 5 [Domain]s).
+
+    Work is split into {e static} chunks whose boundaries depend only
+    on the input size — never on the pool size or on scheduling — each
+    chunk is computed independently, and partial results are combined
+    left-to-right in chunk order. As long as the chunk function is
+    pure (or writes only to locations owned by its chunk), a run with
+    [jobs = 1] is bit-identical to a run with [jobs = 16]: the same
+    float expressions are evaluated in the same grouping; only the
+    wall-clock interleaving differs.
+
+    Pool size resolution, first match wins:
+    + [set_jobs n] (the [--jobs] CLI flag / [Flow.run ~jobs]),
+    + the [SF_JOBS] environment variable,
+    + [Domain.recommended_domain_count ()].
+
+    A size of 1 short-circuits to plain serial execution (no domains
+    are ever spawned). The pool is built lazily on first use, resized
+    lazily after [set_jobs], and torn down [at_exit]. Calls made from
+    inside a chunk function run inline (no nested pools). *)
+
+val jobs : unit -> int
+(** The lane count the next parallel call will use (includes the
+    calling domain), in [1 .. 64]. *)
+
+val set_jobs : int -> unit
+(** Override the pool size (clamped to [1 .. 64]). Takes effect at
+    the next parallel call; an existing pool of a different size is
+    torn down and rebuilt. *)
+
+val auto_jobs : unit -> unit
+(** Drop the [set_jobs] override and fall back to [SF_JOBS] /
+    [Domain.recommended_domain_count]. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains. Safe to call at any quiescent point; the
+    pool is rebuilt on the next parallel call. Also runs [at_exit]. *)
+
+val map_chunks : ?chunk:int -> n:int -> (int -> int -> 'b) -> 'b array
+(** [map_chunks ~chunk ~n f] applies [f lo hi] to each static chunk
+    [\[lo, hi)] of [0 .. n-1] ([hi - lo <= chunk]) and returns the
+    per-chunk results in chunk order. [chunk] defaults to [n/64]
+    (rounded up). This is the primitive the other combinators are
+    built on; use it directly for map-reduce with per-chunk
+    accumulator buffers. If a chunk raises, the leftmost failing
+    chunk's exception is re-raised (deterministically). *)
+
+val parallel_init : ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** Deterministic parallel [Array.init]. *)
+
+val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Deterministic parallel [Array.map]: same result, any pool size. *)
+
+val parallel_iter : ?chunk:int -> ('a -> unit) -> 'a array -> unit
+(** Parallel [Array.iter]. [f] must only write to locations owned by
+    its own element (disjoint writes), otherwise determinism — and
+    memory safety of the result — is forfeit. *)
+
+val parallel_reduce :
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
+(** [parallel_reduce ~map ~combine ~init a] folds [combine] over
+    [map a.(i)] with a fixed left-to-right combine order: chunk
+    partials are folded in chunk order, seeded with [init]. For an
+    associative [combine] this equals the serial
+    [Array.fold_left (fun acc x -> combine acc (map x)) init a]; for
+    merely deterministic [combine] (e.g. float addition) the result is
+    still identical across pool sizes because the grouping is fixed by
+    the chunking, not by the schedule. *)

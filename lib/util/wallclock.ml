@@ -1,0 +1,12 @@
+(* Wall-clock timing for stage runtimes and the bench speedup tables.
+
+   [Sys.time] returns *CPU* time summed across every domain, which
+   makes a parallel run look slower the better it scales; wall time is
+   the quantity a speedup table must report. *)
+
+let now_s () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, now_s () -. t0)

@@ -1,0 +1,10 @@
+(** Wall-clock timing ([Sys.time] is CPU time summed across domains,
+    which overcounts parallel runs; stage runtimes and speedup tables
+    must use wall time). *)
+
+val now_s : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall
+    time in seconds. *)

@@ -1,0 +1,148 @@
+(* The multicore layer's contract: a run with [jobs = N] is
+   bit-identical to a run with [jobs = 1], for the primitives and for
+   the whole flow. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* run [f] under an explicit jobs setting, restoring auto afterwards *)
+let with_jobs n f =
+  Parallel.set_jobs n;
+  Fun.protect ~finally:Parallel.auto_jobs f
+
+let bits = Int64.bits_of_float
+
+let check_bits name a b =
+  Alcotest.(check int64) name (bits a) (bits b)
+
+(* ---- primitives vs their serial counterparts ---- *)
+
+let test_map_matches_serial () =
+  let rng = Rng.create 11 in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> Rng.float rng 100.0 -. 50.0) in
+      let f x = (x *. 1.7) +. sin x in
+      let serial = Array.map f a in
+      List.iter
+        (fun jobs ->
+          let par = with_jobs jobs (fun () -> Parallel.parallel_map ~chunk:7 f a) in
+          checki (Printf.sprintf "n=%d jobs=%d length" n jobs)
+            (Array.length serial) (Array.length par);
+          Array.iteri
+            (fun i x -> check_bits (Printf.sprintf "n=%d jobs=%d [%d]" n jobs i) x par.(i))
+            serial)
+        [ 1; 2; 4 ])
+    [ 0; 1; 6; 7; 8; 100; 1000 ]
+
+let test_init_matches_serial () =
+  List.iter
+    (fun n ->
+      let f i = sqrt (float_of_int i) *. 3.1 in
+      let serial = Array.init n f in
+      let par = with_jobs 4 (fun () -> Parallel.parallel_init ~chunk:13 n f) in
+      Array.iteri (fun i x -> check_bits (Printf.sprintf "init[%d]" i) x par.(i)) serial)
+    [ 0; 1; 13; 14; 500 ]
+
+let test_reduce_matches_serial () =
+  let rng = Rng.create 23 in
+  let a = Array.init 777 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let map x = x *. x in
+  let combine = ( +. ) in
+  (* the reference is the same chunked left-to-right grouping at
+     jobs=1; determinism means every pool size reproduces it *)
+  let reference =
+    with_jobs 1 (fun () -> Parallel.parallel_reduce ~chunk:64 ~map ~combine ~init:0.0 a)
+  in
+  List.iter
+    (fun jobs ->
+      let v =
+        with_jobs jobs (fun () ->
+            Parallel.parallel_reduce ~chunk:64 ~map ~combine ~init:0.0 a)
+      in
+      check_bits (Printf.sprintf "reduce jobs=%d" jobs) reference v)
+    [ 2; 3; 4; 8 ]
+
+let test_iter_disjoint_writes () =
+  let n = 1000 in
+  let src = Array.init n (fun i -> i) in
+  let out = Array.make n 0 in
+  with_jobs 4 (fun () ->
+      Parallel.parallel_iter ~chunk:17 (fun i -> out.(i) <- i * i) src);
+  Array.iteri (fun i v -> checki (Printf.sprintf "iter[%d]" i) (i * i) v) out
+
+let test_exception_is_leftmost () =
+  let exception Boom of int in
+  let raised =
+    try
+      with_jobs 4 (fun () ->
+          ignore
+            (Parallel.parallel_map ~chunk:10
+               (fun i -> if i mod 31 = 30 then raise (Boom i) else i)
+               (Array.init 500 (fun i -> i))));
+      None
+    with Boom i -> Some i
+  in
+  (* 30 is the first failing element; its chunk fails first in chunk
+     order regardless of which domain hit an error first *)
+  Alcotest.(check (option int)) "leftmost exception" (Some 30) raised
+
+let test_jobs_resolution () =
+  with_jobs 3 (fun () -> checki "set_jobs wins" 3 (Parallel.jobs ()));
+  checki "clamped below" 1 (with_jobs 0 (fun () -> Parallel.jobs ()));
+  checki "clamped above" 64 (with_jobs 1000 (fun () -> Parallel.jobs ()))
+
+(* ---- whole flow: jobs=1 vs jobs=4, byte-identical GDS ---- *)
+
+let read_bytes path = In_channel.with_open_bin path In_channel.input_all
+
+let flow_fingerprint name jobs =
+  let gds = Filename.temp_file "superflow_par" ".gds" in
+  let r = Flow.run ~jobs ~gds_path:gds (Circuits.benchmark name) in
+  let bytes = read_bytes gds in
+  Sys.remove gds;
+  ( Problem.hpwl r.Flow.problem,
+    r.Flow.routing.Router.wirelength,
+    r.Flow.routing.Router.total_vias,
+    r.Flow.routing.Router.expansions,
+    r.Flow.sta.Sta.wns_ps,
+    bytes )
+
+let check_flow_deterministic name =
+  let h1, wl1, v1, e1, wns1, gds1 = flow_fingerprint name 1 in
+  let h4, wl4, v4, e4, wns4, gds4 = flow_fingerprint name 4 in
+  Parallel.auto_jobs ();
+  check_bits "hpwl" h1 h4;
+  check_bits "routed wirelength" wl1 wl4;
+  checki "vias" v1 v4;
+  checki "expansions" e1 e4;
+  check_bits "wns" wns1 wns4;
+  checkb "gds byte-identical" true (String.equal gds1 gds4)
+
+let test_flow_adder8 () = check_flow_deterministic "adder8"
+let test_flow_apc32 () = check_flow_deterministic "apc32"
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "map = serial map" `Quick test_map_matches_serial;
+          Alcotest.test_case "init = serial init" `Quick test_init_matches_serial;
+          Alcotest.test_case "reduce identical across pool sizes" `Quick
+            test_reduce_matches_serial;
+          Alcotest.test_case "iter with disjoint writes" `Quick
+            test_iter_disjoint_writes;
+          Alcotest.test_case "leftmost exception wins" `Quick
+            test_exception_is_leftmost;
+          Alcotest.test_case "jobs resolution and clamping" `Quick
+            test_jobs_resolution;
+        ] );
+      ( "full flow",
+        [
+          Alcotest.test_case "adder8: jobs=1 = jobs=4 (GDS bytes)" `Quick
+            test_flow_adder8;
+          Alcotest.test_case "apc32: jobs=1 = jobs=4 (GDS bytes)" `Slow
+            test_flow_apc32;
+        ] );
+    ]
