@@ -335,15 +335,34 @@ let speedup_table () =
         let sta, sta_s = Wallclock.time (fun () -> Sta.analyze_routed p routed) in
         let layout = Layout.build p routed in
         let viols, drc_s = Wallclock.time (fun () -> Drc.check layout) in
+        let check_rep, check_s =
+          Wallclock.time (fun () ->
+              Check.run
+                [
+                  Check.pass "lint" (fun () -> Lint.check aqfp);
+                  Check.pass "aqfp" (fun () -> Aqfp_check.check aqfp);
+                  Check.pass "place" (fun () -> Place_audit.check aqfp p);
+                  Check.pass "lvs" (fun () -> Lvs.check p layout);
+                ])
+        in
         let metrics =
           ( Problem.hpwl p,
             routed.Router.wirelength,
             routed.Router.total_vias,
             sta.Sta.wns_ps,
-            List.length viols )
+            List.length viols,
+            (* rendered diagnostics join the QoR identity check: the
+               report must be byte-identical at any pool size *)
+            Check.render_text check_rep )
         in
-        ([ ("place", place_s); ("route", route_s); ("sta", sta_s); ("drc", drc_s) ],
-         metrics)
+        ( [
+            ("place", place_s);
+            ("route", route_s);
+            ("sta", sta_s);
+            ("drc", drc_s);
+            ("check", check_s);
+          ],
+          metrics )
       in
       let serial, m1 = run_stages 1 in
       let par, mn = run_stages jn in

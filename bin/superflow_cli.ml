@@ -4,7 +4,8 @@
      superflow synth   <input>          — logic synthesis report
      superflow place   <input> [--placer ...]
      superflow route   <input>
-     superflow flow    <input> [-o out.gds]  — full RTL-to-GDS
+     superflow flow    <input> [-o out.gds] [--check]  — full RTL-to-GDS
+     superflow check   <input> [--json]     — static-verification gate
      superflow tables                    — regenerate the paper tables
      superflow bench-list                — list built-in benchmarks
 
@@ -101,13 +102,20 @@ let load_tech = function
   | None -> Ok Tech.default
   | Some path -> Tech.of_file path
 
-let cmd_flow input placer_name gds_out def_out svg_out tech_file jobs =
+let cmd_flow input placer_name gds_out def_out svg_out tech_file jobs check =
   match (load_input input, placer_of_string placer_name, load_tech tech_file) with
   | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
   | Ok aoi, Ok algorithm, Ok tech ->
       let r =
-        Flow.run ~tech ~algorithm ?jobs ?gds_path:gds_out ?def_path:def_out aoi
+        Flow.run ~tech ~algorithm ?jobs ~check ?gds_path:gds_out
+          ?def_path:def_out aoi
       in
+      (match r.Flow.check_report with
+      | Some rep ->
+          List.iter
+            (fun d -> Format.printf "%a@." Diag.pp d)
+            rep.Check.diags
+      | None -> ());
       (match svg_out with
       | Some path ->
           Svg.write_file path r.Flow.layout;
@@ -119,7 +127,36 @@ let cmd_flow input placer_name gds_out def_out svg_out tech_file jobs =
       | None -> ());
       (match def_out with
       | Some path -> Format.printf "DEF written to %s@." path
-      | None -> ())
+      | None -> ());
+      (match r.Flow.check_report with
+      | Some rep when not (Check.ok rep) -> exit 1
+      | _ -> ())
+
+(* ---- check ---- *)
+
+let cmd_check input placer_name router_name tech_file jobs json =
+  match
+    ( load_input input,
+      placer_of_string placer_name,
+      router_of_string router_name,
+      load_tech tech_file )
+  with
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      exit_err e
+  | Ok aoi, Ok algorithm, Ok router, Ok tech ->
+      let r = Flow.run ~tech ~algorithm ~router ?jobs ~check:true aoi in
+      let rep =
+        match r.Flow.check_report with
+        | Some rep -> rep
+        | None -> assert false
+      in
+      print_string
+        (if json then Check.render_json rep else Check.render_text rep);
+      if not json then
+        Format.printf "check runtime: %.2fs over %d pass(es)@."
+          (Check.total_seconds rep)
+          (List.length rep.Check.stats);
+      if not (Check.ok rep) then exit 1
 
 (* ---- timing ---- *)
 
@@ -305,10 +342,30 @@ let tech_arg =
   Arg.(value & opt (some string) None & info [ "tech" ] ~docv:"FILE"
          ~doc:"Technology description (key = value lines; see Tech.of_string).")
 
+let check_flag_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Run the static-verification gate (lint, AQFP legality, \
+               equivalence guards, placement audit, route check, DRC, \
+               LVS-lite) and fail on any error-severity diagnostic.")
+
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
     Term.(const cmd_flow $ input_arg $ placer_arg $ gds_arg $ def_arg $ svg_arg
-          $ tech_arg $ jobs_arg)
+          $ tech_arg $ jobs_arg $ check_flag_arg)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit diagnostics as JSON lines instead of text.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the full flow gated by the sf_check static verifier: \
+             netlist lints, AQFP legality, per-output formal equivalence, \
+             placement audit, route connectivity, DRC and LVS-lite. Exits 1 \
+             on any error-severity diagnostic.")
+    Term.(const cmd_check $ input_arg $ placer_arg $ router_arg $ tech_arg
+          $ jobs_arg $ json_arg)
 
 let timing_cmd =
   Cmd.v (Cmd.info "timing" ~doc:"Static timing analysis of a placed design")
@@ -361,7 +418,7 @@ let main =
   Cmd.group
     (Cmd.info "superflow" ~version:Flow.version
        ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
-    [ synth_cmd; place_cmd; route_cmd; flow_cmd; timing_cmd; report_cmd; sim_cmd;
-      verify_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
+    [ synth_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; timing_cmd;
+      report_cmd; sim_cmd; verify_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,107 @@
+(* Per-output equivalence guards. *)
+
+let cone nl oid =
+  (match Netlist.kind nl oid with
+  | Netlist.Output -> ()
+  | k ->
+      invalid_arg
+        (Printf.sprintf "Equiv.cone: node %d is %s, not an output" oid
+           (Netlist.kind_name k)));
+  let n = Netlist.size nl in
+  let marked = Array.make n false in
+  (* transitive fan-in; fanins may point forward (insertion rewires
+     edges), so a plain DFS over ids is required, not an id sweep *)
+  let rec visit i =
+    if not marked.(i) then begin
+      marked.(i) <- true;
+      Array.iter visit (Netlist.fanins nl i)
+    end
+  in
+  visit oid;
+  List.iter (fun i -> marked.(i) <- true) (Netlist.inputs nl);
+  let out = Netlist.create () in
+  let map = Array.make n (-1) in
+  (* two-pass build (cf. Netlist.copy): placeholders first, then the
+     real, remapped fan-ins *)
+  let pending = ref [] in
+  Netlist.iter nl (fun nd ->
+      let i = nd.Netlist.id in
+      if marked.(i) then begin
+        let placeholder = Array.map (fun _ -> 0) nd.Netlist.fanins in
+        let id = Netlist.add out ?name:nd.Netlist.name nd.Netlist.kind placeholder in
+        map.(i) <- id;
+        if Array.length nd.Netlist.fanins > 0 then pending := i :: !pending
+      end);
+  List.iter
+    (fun i ->
+      let remapped = Array.map (fun f -> map.(f)) (Netlist.fanins nl i) in
+      Netlist.set_fanins out map.(i) remapped)
+    !pending;
+  out
+
+type verdict =
+  | Proven_equal
+  | Proven_diff of bool array
+  | Sampled_equal
+  | Sampled_diff
+
+let check_output ~max_nodes before after ob oa =
+  let ca = cone before ob and cb = cone after oa in
+  match Bdd.check_equivalence ~max_nodes ca cb with
+  | Bdd.Equivalent -> Proven_equal
+  | Bdd.Different cex -> Proven_diff cex
+  | Bdd.Too_large ->
+      if Sim.equivalent ca cb then Sampled_equal else Sampled_diff
+
+let bits v =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list v))
+
+let check_pair ?(max_nodes = 100_000) ~stage before after =
+  let outs_b = Array.of_list (Netlist.outputs before) in
+  let outs_a = Array.of_list (Netlist.outputs after) in
+  let ins_b = List.length (Netlist.inputs before) in
+  let ins_a = List.length (Netlist.inputs after) in
+  if ins_b <> ins_a || Array.length outs_b <> Array.length outs_a then
+    [
+      Diag.error ~rule:"EQ-ARITY-01" Diag.Global
+        "%s: IO mismatch (%d/%d inputs, %d/%d outputs)" stage ins_b ins_a
+        (Array.length outs_b) (Array.length outs_a);
+    ]
+  else begin
+    (* one lane per primary output, verdicts combined in output order *)
+    let verdicts =
+      Parallel.parallel_init ~chunk:1 (Array.length outs_b) (fun i ->
+          check_output ~max_nodes before after outs_b.(i) outs_a.(i))
+    in
+    let diags = ref [] in
+    Array.iteri
+      (fun i v ->
+        let oid = outs_a.(i) in
+        let name =
+          match Netlist.name after oid with
+          | Some n -> Printf.sprintf "%S" n
+          | None -> Printf.sprintf "#%d" i
+        in
+        match v with
+        | Proven_equal -> ()
+        | Proven_diff cex ->
+            diags :=
+              Diag.error ~rule:"EQ-DIFF-01" (Diag.Node oid)
+                "%s: output %s differs (counterexample inputs %s)" stage name
+                (bits cex)
+              :: !diags
+        | Sampled_diff ->
+            diags :=
+              Diag.error ~rule:"EQ-DIFF-02" (Diag.Node oid)
+                "%s: output %s differs under simulation fallback" stage name
+              :: !diags
+        | Sampled_equal ->
+            diags :=
+              Diag.info ~rule:"EQ-FALLBACK-01" (Diag.Node oid)
+                "%s: output %s exceeded the BDD budget; equivalence sampled, \
+                 not proven"
+                stage name
+              :: !diags)
+      verdicts;
+    List.rev !diags
+  end

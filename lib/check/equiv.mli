@@ -1,0 +1,34 @@
+(** Stage-equivalence guards ([EQ-*]): formal combinational
+    equivalence between two snapshots of the same design, asserted at
+    the synthesis handoffs (AOI → MAJ and MAJ → buffered AQFP inside
+    [Synth_flow.run ~check:true]).
+
+    The check is sharded per primary output over {!Parallel}: each
+    lane extracts the output's logic cone from both netlists (over
+    the full, shared primary-input order, so BDD variable orders
+    agree) and proves the cones equal with a budgeted ROBDD
+    ({!Bdd.check_equivalence}); a cone that exceeds the node budget
+    falls back to {!Sim.equivalent} and reports the downgrade as an
+    info-level diagnostic. Verdicts are combined in output order, so
+    the report is identical at any pool size.
+
+    Rule catalog:
+    - [EQ-ARITY-01] (error) — primary input/output counts differ;
+    - [EQ-DIFF-01] (error) — an output provably differs (the message
+      carries the BDD counterexample input vector);
+    - [EQ-DIFF-02] (error) — an output differs under the simulation
+      fallback;
+    - [EQ-FALLBACK-01] (info) — BDD budget exceeded for an output;
+      equivalence only sampled, not proven. *)
+
+val cone : Netlist.t -> int -> Netlist.t
+(** [cone nl oid] — the sub-netlist feeding output marker [oid]: all
+    primary inputs of [nl] (in order, used or not) plus the
+    transitive fan-in of [oid] and the marker itself. Raises
+    [Invalid_argument] if [oid] is not an [Output] node. *)
+
+val check_pair :
+  ?max_nodes:int -> stage:string -> Netlist.t -> Netlist.t -> Diag.t list
+(** [check_pair ~stage before after] — per-output equivalence of two
+    netlists; [stage] (e.g. ["aoi->maj"]) tags the messages.
+    [max_nodes] is the per-output BDD budget (default 100_000). *)

@@ -1,0 +1,66 @@
+(* Structural netlist lints. The hard errors (arity, dangling ids,
+   cycles, splitter fanout) come from [Netlist.validate_diags]; this
+   pass adds the style/liveness findings on top. *)
+
+let fanout_counts_parallel nl =
+  let n = Netlist.size nl in
+  (* per-chunk count buffers, summed left-to-right: identical to the
+     serial count at any pool size *)
+  let parts =
+    Parallel.map_chunks ~chunk:4096 ~n (fun lo hi ->
+        let counts = Array.make n 0 in
+        for i = lo to hi - 1 do
+          Array.iter
+            (fun f ->
+              if f >= 0 && f < n then counts.(f) <- counts.(f) + 1)
+            (Netlist.fanins nl i)
+        done;
+        counts)
+  in
+  let total = Array.make n 0 in
+  Array.iter
+    (fun part -> Array.iteri (fun i c -> total.(i) <- total.(i) + c) part)
+    parts;
+  total
+
+let check nl =
+  let structural = Netlist.validate_diags nl in
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  (* duplicate names *)
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Netlist.iter nl (fun nd ->
+      match nd.Netlist.name with
+      | None -> ()
+      | Some name -> (
+          match Hashtbl.find_opt seen name with
+          | Some first ->
+              push
+                (Diag.warning ~rule:"NL-DUP-01" (Diag.Node nd.Netlist.id)
+                   "name %S already used by node %d" name first)
+          | None -> Hashtbl.add seen name nd.Netlist.id));
+  (* liveness (needs in-range fanin ids; skip when structure is broken) *)
+  if not (List.exists (fun d -> d.Diag.rule = "NL-DANGLE-01") structural) then begin
+    let counts = fanout_counts_parallel nl in
+    Netlist.iter nl (fun nd ->
+        if counts.(nd.Netlist.id) = 0 then
+          match nd.Netlist.kind with
+          | Netlist.Output -> ()
+          | Netlist.Input ->
+              push
+                (Diag.info ~rule:"NL-INPUT-01" (Diag.Node nd.Netlist.id)
+                   "primary input%s is never used"
+                   (match nd.Netlist.name with
+                   | Some n -> Printf.sprintf " %S" n
+                   | None -> ""))
+          | k ->
+              push
+                (Diag.warning ~rule:"NL-DEAD-01" (Diag.Node nd.Netlist.id)
+                   "dead logic: %s node has no consumers"
+                   (Netlist.kind_name k)))
+  end;
+  if Netlist.outputs nl = [] then
+    push
+      (Diag.warning ~rule:"NL-OUT-01" Diag.Global
+         "netlist has no primary outputs");
+  structural @ List.rev !diags

@@ -1,0 +1,22 @@
+(** Netlist lints ([NL-*]): structural problems any stage's netlist
+    can exhibit, independent of AQFP legality.
+
+    Rule catalog:
+    - [NL-ARITY-01] (error) — fan-in count differs from the gate
+      kind's arity (from [Netlist.validate_diags]);
+    - [NL-DANGLE-01] (error) — fan-in references a node id outside
+      the netlist;
+    - [NL-CYCLE-01] (error) — combinational cycle;
+    - [NL-FANOUT-01] (error) — a [Splitter k] drives a number of
+      consumers different from [k];
+    - [NL-DUP-01] (warning) — two nodes share a name;
+    - [NL-DEAD-01] (warning) — a logic node computes a value nobody
+      consumes (dead logic);
+    - [NL-INPUT-01] (info) — an unused primary input;
+    - [NL-OUT-01] (warning) — the netlist has no primary outputs.
+
+    Fanout counting is sharded over {!Parallel} chunks with a
+    deterministic combine, so large netlists lint at full core
+    count with byte-identical reports. *)
+
+val check : Netlist.t -> Diag.t list

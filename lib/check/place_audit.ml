@@ -1,0 +1,90 @@
+(* Placement audit: row/phase consistency, overlaps, spacing, grid,
+   row capacity. Row-wise checks run one row per Parallel lane with
+   per-row diagnostic lists combined in row order. *)
+
+let check nl p =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  (* row/phase consistency vs the netlist *)
+  Array.iter
+    (fun c ->
+      if c.Problem.node >= 0 && c.Problem.node < Netlist.size nl then begin
+        let phase = Netlist.phase nl c.Problem.node in
+        let expected =
+          match c.Problem.kind with
+          | Netlist.Output -> phase + 1
+          | _ -> phase
+        in
+        if c.Problem.row <> expected then
+          push
+            (Diag.error ~rule:"PL-ROW-01" (Diag.Node c.Problem.node)
+               "cell sits in row %d but its clock phase implies row %d"
+               c.Problem.row expected)
+      end)
+    p.Problem.cells;
+  (* row_cells table consistency *)
+  Array.iteri
+    (fun r row ->
+      Array.iter
+        (fun ci ->
+          let c = p.Problem.cells.(ci) in
+          if c.Problem.row <> r then
+            push
+              (Diag.error ~rule:"PL-INDEX-01" (Diag.Node c.Problem.node)
+                 "row table lists cell in row %d, cell says row %d" r
+                 c.Problem.row))
+        row)
+    p.Problem.row_cells;
+  let header = List.rev !diags in
+  let die_width = Problem.row_width p in
+  let s_min = p.Problem.tech.Tech.s_min in
+  (* geometric checks, one row-chunk per lane *)
+  let row_chunks =
+    Parallel.map_chunks ~chunk:1 ~n:p.Problem.n_rows (fun lo hi ->
+        let ds = ref [] in
+        let pushd d = ds := d :: !ds in
+        for r = lo to hi - 1 do
+          let row = p.Problem.row_cells.(r) in
+          let sorted = Array.copy row in
+          Array.sort
+            (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
+            sorted;
+          let packed = ref 0.0 in
+          Array.iter
+            (fun ci ->
+              let c = p.Problem.cells.(ci) in
+              packed := !packed +. c.Problem.lib.Cell.width;
+              if not (Tech.on_grid p.Problem.tech c.Problem.x) then
+                pushd
+                  (Diag.error ~rule:"PL-GRID-01" (Diag.Node c.Problem.node)
+                     "cell origin x=%.3f off the %.0f um grid" c.Problem.x
+                     p.Problem.tech.Tech.grid);
+              if c.Problem.x < -1e-6 then
+                pushd
+                  (Diag.error ~rule:"PL-NEG-01" (Diag.Node c.Problem.node)
+                     "cell placed at negative x=%.3f" c.Problem.x))
+            sorted;
+          for i = 0 to Array.length sorted - 2 do
+            let a = p.Problem.cells.(sorted.(i))
+            and b = p.Problem.cells.(sorted.(i + 1)) in
+            let gap = b.Problem.x -. (a.Problem.x +. a.Problem.lib.Cell.width) in
+            if gap < -1e-6 then
+              pushd
+                (Diag.error ~rule:"PL-OVERLAP-01" (Diag.Row r)
+                   "cells %d and %d overlap by %.1f um" a.Problem.node
+                   b.Problem.node (-.gap))
+            else if gap > 1e-6 && gap < s_min -. 1e-6 then
+              pushd
+                (Diag.error ~rule:"PL-SPACING-01" (Diag.Row r)
+                   "cells %d and %d are %.1f um apart (s_min %.1f)"
+                   a.Problem.node b.Problem.node gap s_min)
+          done;
+          if !packed > die_width +. 1e-6 then
+            pushd
+              (Diag.warning ~rule:"PL-CAP-01" (Diag.Row r)
+                 "row needs %.0f um of cells but the die is %.0f um wide"
+                 !packed die_width)
+        done;
+        List.rev !ds)
+  in
+  header @ Array.fold_left (fun acc ds -> acc @ ds) [] row_chunks

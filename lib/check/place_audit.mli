@@ -1,0 +1,23 @@
+(** Placement audit ([PL-*]): physical-consistency checks of a
+    placed {!Problem.t} against its AQFP netlist.
+
+    Rule catalog:
+    - [PL-ROW-01] (error) — a cell's row differs from its netlist
+      node's clock phase (output markers sit one row below their
+      driver's phase);
+    - [PL-INDEX-01] (error) — the per-row cell index disagrees with
+      a cell's row field;
+    - [PL-OVERLAP-01] (error) — two same-row cell bodies overlap;
+    - [PL-SPACING-01] (error) — same-row neighbors neither abut nor
+      keep the technology's [s_min];
+    - [PL-GRID-01] (error) — a cell origin off the manufacturing
+      grid;
+    - [PL-NEG-01] (error) — a cell placed at negative x;
+    - [PL-CAP-01] (warning) — a row's packed cell width exceeds the
+      die width implied by the widest row (overfull row).
+
+    Row scans are sharded over {!Parallel} (one chunk of rows per
+    lane, combined in row order), so the report is identical at any
+    pool size. *)
+
+val check : Netlist.t -> Problem.t -> Diag.t list

@@ -3,6 +3,7 @@ type times = {
   place_s : float;
   route_s : float;
   layout_s : float;
+  check_s : float;
 }
 
 type result = {
@@ -17,8 +18,35 @@ type result = {
   energy : Energy.report;
   buffer_lines : int;
   drc_fix_rounds : int;
+  check_report : Check.report option;
   times : times;
 }
+
+(* DRC violations folded into the diagnostics vocabulary: rule ids
+   become DRC-<RULE>, located at the violation coordinate *)
+let diags_of_drc violations =
+  List.map
+    (fun v ->
+      Diag.error
+        ~rule:("DRC-" ^ String.uppercase_ascii v.Drc.rule)
+        (Diag.At (v.Drc.at.Geom.x, v.Drc.at.Geom.y))
+        "%s" v.Drc.detail)
+    violations
+
+let check_passes r =
+  [
+    Check.pass "lint" (fun () -> Lint.check r.aqfp_netlist);
+    Check.pass "aqfp" (fun () -> Aqfp_check.check r.aqfp_netlist);
+    Check.of_diags "equiv" r.synth_report.Synth_flow.guard_diags;
+    Check.pass "place" (fun () -> Place_audit.check r.aqfp_netlist r.problem);
+    Check.pass "route" (fun () ->
+        match Router.check_routes r.problem r.routing with
+        | Ok () -> []
+        | Error e ->
+            [ Diag.error ~rule:"RT-CONN-01" Diag.Global "%s" e ]);
+    Check.of_diags "drc" (diags_of_drc r.violations);
+    Check.pass "lvs" (fun () -> Lvs.check r.problem r.layout);
+  ]
 
 let version = "0.1.0"
 
@@ -30,10 +58,13 @@ let timed f =
   (v, Wallclock.now_s () -. t0)
 
 let run ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
-    ?(router = Router.Sequential) ?(seed = 1) ?jobs ?gds_path ?def_path aoi =
+    ?(router = Router.Sequential) ?(seed = 1) ?jobs ?(check = false) ?gds_path
+    ?def_path aoi =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   (* 1. logic synthesis: AOI -> MAJ -> balanced AQFP netlist *)
-  let (aqfp0, synth_report), synth_s = timed (fun () -> Synth_flow.run aoi) in
+  let (aqfp0, synth_report), synth_s =
+    timed (fun () -> Synth_flow.run ~check aoi)
+  in
   (* 2. placement *)
   let (placement, p0), place_s =
     timed (fun () ->
@@ -86,30 +117,46 @@ let run ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
   (* sign-off timing uses the actual routed lengths *)
   let sta = Sta.analyze_routed p routing in
   let energy = Energy.of_netlist tech aqfp in
-  {
-    aqfp_netlist = aqfp;
-    problem = p;
-    routing;
-    layout;
-    violations;
-    synth_report;
-    placement;
-    sta;
-    energy;
-    buffer_lines;
-    drc_fix_rounds;
-    times = { synth_s; place_s; route_s; layout_s };
-  }
+  let result0 =
+    {
+      aqfp_netlist = aqfp;
+      problem = p;
+      routing;
+      layout;
+      violations;
+      synth_report;
+      placement;
+      sta;
+      energy;
+      buffer_lines;
+      drc_fix_rounds;
+      check_report = None;
+      times = { synth_s; place_s; route_s; layout_s; check_s = 0.0 };
+    }
+  in
+  if not check then result0
+  else
+    (* 5. the static-verification gate over every stage handoff *)
+    let report, check_s = timed (fun () -> Check.run (check_passes result0)) in
+    {
+      result0 with
+      check_report = Some report;
+      times = { result0.times with check_s };
+    }
 
-let run_verilog ?tech ?algorithm ?router ?jobs ?gds_path ?def_path source =
+let run_verilog ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path source
+    =
   match Verilog.parse source with
   | Error e -> Error e
-  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?jobs ?gds_path ?def_path aoi)
+  | Ok aoi ->
+      Ok (run ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path aoi)
 
-let run_bench_file ?tech ?algorithm ?router ?jobs ?gds_path ?def_path path =
+let run_bench_file ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path
+    path =
   match Bench_parser.parse_file path with
   | Error e -> Error e
-  | Ok aoi -> Ok (run ?tech ?algorithm ?router ?jobs ?gds_path ?def_path aoi)
+  | Ok aoi ->
+      Ok (run ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path aoi)
 
 let pp_summary ppf r =
   let s = Layout.stats r.layout in
@@ -119,4 +166,7 @@ let pp_summary ppf r =
     r.buffer_lines r.routing.Router.wirelength r.routing.Router.total_vias
     r.routing.Router.expansions Layout.pp_stats s Sta.pp_report r.sta Energy.pp
     r.energy
-    (List.length r.violations) r.drc_fix_rounds
+    (List.length r.violations) r.drc_fix_rounds;
+  match r.check_report with
+  | Some rep -> Format.fprintf ppf "@\n%a" Check.pp_summary rep
+  | None -> ()

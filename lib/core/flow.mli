@@ -15,6 +15,7 @@ type times = {
   place_s : float;
   route_s : float;
   layout_s : float;
+  check_s : float;  (** static-verification gate; 0 when disabled *)
 }
 
 type result = {
@@ -29,8 +30,19 @@ type result = {
   energy : Energy.report;  (** adiabatic energy estimate of the design *)
   buffer_lines : int;
   drc_fix_rounds : int;
+  check_report : Check.report option;
+      (** the [sf_check] gate's findings ([run ~check:true] only):
+          netlist lints, AQFP legality, synthesis equivalence guards,
+          placement audit, route connectivity, DRC and LVS-lite *)
   times : times;
 }
+
+val check_passes : result -> Check.pass list
+(** The standard verification pipeline over a finished flow result —
+    what [run ~check:true] and [superflow check] execute: [lint],
+    [aqfp], [equiv] (from the synthesis guards), [place], [route],
+    [drc], [lvs], in that order. Exposed so callers can re-run or
+    extend the gate. *)
 
 val run :
   ?tech:Tech.t ->
@@ -38,6 +50,7 @@ val run :
   ?router:Router.algorithm ->
   ?seed:int ->
   ?jobs:int ->
+  ?check:bool ->
   ?gds_path:string ->
   ?def_path:string ->
   Netlist.t ->
@@ -45,20 +58,21 @@ val run :
 (** Run the full flow on an AOI netlist. [algorithm] defaults to
     [Placer.Superflow] and [router] to [Router.Sequential];
     [jobs] sets the domain-pool size for the parallel stages
-    (routing, placement gradients, STA, DRC) — results are
-    bit-identical at every value, see {!Parallel}; [gds_path]
-    writes the final GDSII stream; [def_path] the DEF-style
-    placement/routing dump. *)
+    (routing, placement gradients, STA, DRC, checker) — results are
+    bit-identical at every value, see {!Parallel}; [check] (default
+    false) runs the {!Check} static-verification gate over every
+    stage handoff and stores its report; [gds_path] writes the final
+    GDSII stream; [def_path] the DEF-style placement/routing dump. *)
 
 val run_verilog :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?jobs:int -> ?gds_path:string -> ?def_path:string -> string ->
+  ?jobs:int -> ?check:bool -> ?gds_path:string -> ?def_path:string -> string ->
   (result, string) Stdlib.result
 (** Full flow from Verilog source text. *)
 
 val run_bench_file :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?jobs:int -> ?gds_path:string -> ?def_path:string -> string ->
+  ?jobs:int -> ?check:bool -> ?gds_path:string -> ?def_path:string -> string ->
   (result, string) Stdlib.result
 (** Full flow from an ISCAS [.bench] file path. *)
 

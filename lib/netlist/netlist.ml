@@ -167,28 +167,50 @@ let max_fanout t = Array.fold_left max 0 (fanout_counts t)
 let count_kind t p =
   fold t (fun acc nd -> if p nd.kind then acc + 1 else acc) 0
 
-let validate t =
-  let problems = ref [] in
-  let push msg = problems := msg :: !problems in
+let validate_diags t =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let dangling = ref false in
   iter t (fun nd ->
       if Array.length nd.fanins <> arity nd.kind then
         push
-          (Printf.sprintf "node %d (%s): bad arity %d" nd.id
-             (kind_name nd.kind)
+          (Diag.error ~rule:"NL-ARITY-01" (Diag.Node nd.id)
+             "%s expects %d fanin(s), has %d" (kind_name nd.kind)
+             (arity nd.kind)
              (Array.length nd.fanins));
       Array.iter
         (fun f ->
-          if f < 0 || f >= size t then
-            push (Printf.sprintf "node %d: dangling fanin %d" nd.id f))
+          if f < 0 || f >= size t then begin
+            dangling := true;
+            push
+              (Diag.error ~rule:"NL-DANGLE-01" (Diag.Node nd.id)
+                 "dangling fanin id %d (netlist has %d nodes)" f (size t))
+          end)
         nd.fanins);
-  (try ignore (topo_order t) with Failure msg -> push msg);
-  match !problems with
+  (* fanout-dependent checks need in-range fanin ids *)
+  if not !dangling then begin
+    let counts = fanout_counts t in
+    iter t (fun nd ->
+        match nd.kind with
+        | Splitter k when counts.(nd.id) <> k ->
+            push
+              (Diag.error ~rule:"NL-FANOUT-01" (Diag.Node nd.id)
+                 "splitter declares %d outputs but drives %d consumer(s)" k
+                 counts.(nd.id))
+        | _ -> ());
+    try ignore (topo_order t)
+    with Failure msg -> push (Diag.error ~rule:"NL-CYCLE-01" Diag.Global "%s" msg)
+  end;
+  List.rev !diags
+
+let validate t =
+  match validate_diags t with
   | [] ->
       Ok
         (Printf.sprintf "%d nodes, %d inputs, %d outputs" (size t)
            (List.length (inputs t))
            (List.length (outputs t)))
-  | ps -> Error (String.concat "; " ps)
+  | ds -> Error (String.concat "; " (List.map (fun d -> d.Diag.message) ds))
 
 let copy t =
   (* fan-ins may reference later ids (edge rewiring during insertion

@@ -104,9 +104,17 @@ val max_fanout : t -> int
 
 val count_kind : t -> (kind -> bool) -> int
 
+val validate_diags : t -> Diag.t list
+(** Structural sanity as checker diagnostics: arities ([NL-ARITY-01]),
+    dangling fan-in ids ([NL-DANGLE-01]), combinational cycles
+    ([NL-CYCLE-01]) and [Splitter k] nodes whose real consumer count
+    differs from [k] ([NL-FANOUT-01]). Empty list = structurally
+    sound. The checker's netlist-lint pass builds on this. *)
+
 val validate : t -> (string, string) result
-(** Structural sanity: arities, dangling ids, acyclicity, outputs have
-    drivers. [Ok name] on success where [name] is a summary. *)
+(** [validate_diags] folded back into the legacy shape: [Ok summary]
+    when no diagnostics fire, [Error] joining their messages
+    otherwise. *)
 
 val copy : t -> t
 

@@ -5,9 +5,10 @@ type report = {
   opt_stats : Opt.stats;
   maj_stats : Aoi_to_maj.stats;
   ins_stats : Insertion.stats;
+  guard_diags : Diag.t list;
 }
 
-let run aoi =
+let run ?(check = false) aoi =
   let aoi, opt_stats = Opt.optimize_with_stats aoi in
   let maj_smart, maj_stats = Aoi_to_maj.convert_with_stats aoi in
   let maj_naive = Aoi_to_maj.convert_naive aoi in
@@ -32,6 +33,13 @@ let run aoi =
     | _ -> (aqfp_edge, stats_edge)
     | exception Failure _ -> (aqfp_edge, stats_edge)
   in
+  (* equivalence guards at the two semantics-preserving handoffs *)
+  let guard_diags =
+    if not check then []
+    else
+      Equiv.check_pair ~stage:"aoi->maj" aoi maj
+      @ Equiv.check_pair ~stage:"maj->aqfp" maj aqfp
+  in
   let report =
     {
       opt_stats;
@@ -40,6 +48,7 @@ let run aoi =
       delay = ins_stats.Insertion.delay;
       maj_stats;
       ins_stats;
+      guard_diags;
     }
   in
   (aqfp, report)

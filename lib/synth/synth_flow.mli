@@ -1,6 +1,12 @@
 (** Logic-synthesis stage driver: AOI netlist → majority conversion →
     splitter/buffer insertion → legal AQFP netlist, with the
-    statistics the paper reports in Table II. *)
+    statistics the paper reports in Table II.
+
+    With [~check:true], every handoff is gated by the static
+    verifier's equivalence guard ({!Equiv.check_pair}): AOI → chosen
+    MAJ netlist, and MAJ → buffered AQFP netlist. The resulting
+    [EQ-*] diagnostics ride along in the report (empty when the guard
+    is off or both handoffs prove clean). *)
 
 type report = {
   jjs : int;  (** Josephson junctions, all cells included *)
@@ -9,13 +15,17 @@ type report = {
   opt_stats : Opt.stats;  (** AOI pre-optimization *)
   maj_stats : Aoi_to_maj.stats;
   ins_stats : Insertion.stats;
+  guard_diags : Diag.t list;
+      (** stage-equivalence guard findings ([EQ-*]); empty unless
+          [run ~check:true] *)
 }
 
-val run : Netlist.t -> Netlist.t * report
+val run : ?check:bool -> Netlist.t -> Netlist.t * report
 (** Synthesize an AOI netlist into a placement-ready AQFP netlist:
     AOI optimization ({!Opt}), majority conversion (cut-collapsing vs
     per-gate, cheaper wins), splitter/buffer insertion (per-edge
-    chains vs shared ladders, cheaper wins). Raises
+    chains vs shared ladders, cheaper wins). [check] (default false)
+    runs the per-output equivalence guards at each handoff. Raises
     [Invalid_argument] if the input contains non-AOI gates. *)
 
 val run_quiet : Netlist.t -> Netlist.t

@@ -1,0 +1,96 @@
+type severity = Error | Warning | Info
+
+type loc =
+  | Node of int
+  | Net of int
+  | Row of int
+  | At of float * float
+  | Global
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : loc;
+  message : string;
+}
+
+let make severity ~rule loc fmt =
+  Printf.ksprintf (fun message -> { rule; severity; loc; message }) fmt
+
+let error ~rule loc fmt = make Error ~rule loc fmt
+let warning ~rule loc fmt = make Warning ~rule loc fmt
+let info ~rule loc fmt = make Info ~rule loc fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let loc_string = function
+  | Node i -> Printf.sprintf "node %d" i
+  | Net i -> Printf.sprintf "net %d" i
+  | Row r -> Printf.sprintf "row %d" r
+  | At (x, y) -> Printf.sprintf "(%.1f, %.1f)" x y
+  | Global -> "-"
+
+let loc_rank = function
+  | Global -> 0
+  | Node _ -> 1
+  | Net _ -> 2
+  | Row _ -> 3
+  | At _ -> 4
+
+let compare_loc a b =
+  match (a, b) with
+  | Node i, Node j | Net i, Net j | Row i, Row j -> Stdlib.compare i j
+  | At (x1, y1), At (x2, y2) -> Stdlib.compare (y1, x1) (y2, x2)
+  | Global, Global -> 0
+  | _ -> Stdlib.compare (loc_rank a) (loc_rank b)
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = compare_loc a.loc b.loc in
+      if c <> 0 then c else String.compare a.message b.message
+
+let count sev diags =
+  List.fold_left (fun n d -> if d.severity = sev then n + 1 else n) 0 diags
+
+let to_string d =
+  Printf.sprintf "%-7s %s @ %s: %s" (severity_name d.severity) d.rule
+    (loc_string d.loc) d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let loc_json = function
+  | Node i -> Printf.sprintf "{\"kind\":\"node\",\"id\":%d}" i
+  | Net i -> Printf.sprintf "{\"kind\":\"net\",\"id\":%d}" i
+  | Row r -> Printf.sprintf "{\"kind\":\"row\",\"id\":%d}" r
+  | At (x, y) -> Printf.sprintf "{\"kind\":\"at\",\"x\":%.3f,\"y\":%.3f}" x y
+  | Global -> "{\"kind\":\"global\"}"
+
+let to_json d =
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+    (json_escape d.rule) (severity_name d.severity) (loc_json d.loc)
+    (json_escape d.message)
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,57 @@
+(** Structured static-analysis diagnostics.
+
+    Every finding of the {!Check} subsystem (and of
+    [Netlist.validate_diags]) is one value of {!t}: a stable rule id
+    (e.g. [NL-ARITY-01], [AQFP-PHASE-01], [LVS-OPEN-01]), a severity,
+    a location and a human-readable message. Diagnostics render as
+    one-line text or as machine-readable JSON objects (one per line),
+    and order deterministically — two runs that find the same problems
+    print byte-identical reports regardless of the worker-pool size.
+
+    The type lives in [sf_util] (not in the checker library) so that
+    every layer of the flow — the netlist IR included — can produce
+    diagnostics without a dependency cycle. *)
+
+type severity = Error | Warning | Info
+
+type loc =
+  | Node of int  (** netlist node id *)
+  | Net of int  (** placement/routing net index (one fan-in edge) *)
+  | Row of int  (** placement row / clock phase *)
+  | At of float * float  (** layout coordinate, µm *)
+  | Global  (** whole-design finding *)
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["NL-ARITY-01"] *)
+  severity : severity;
+  loc : loc;
+  message : string;
+}
+
+val error : rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
+(** [error ~rule loc fmt ...] — printf-style constructor. *)
+
+val warning : rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
+
+val info : rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val loc_string : loc -> string
+(** Compact location, e.g. ["node 12"], ["(120, 340)"], ["-"]. *)
+
+val compare : t -> t -> int
+(** Total order: severity (errors first), then rule, location,
+    message. Used for stable report rendering. *)
+
+val count : severity -> t list -> int
+
+val to_string : t -> string
+(** One line: [severity rule @ loc: message]. *)
+
+val to_json : t -> string
+(** One JSON object (no trailing newline), suitable for JSON-lines
+    output. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,379 @@
+(* Tests for the sf_check static-verification subsystem: each seeded
+   violation class must be caught by its rule id (and by nothing
+   louder), the LVS-lite extraction must catch opens/shorts/swaps on
+   routed layouts, and reports must be byte-identical at any worker
+   count. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let count_rule rule diags =
+  List.length (List.filter (fun d -> d.Diag.rule = rule) diags)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let errors diags = Diag.count Diag.Error diags
+
+(* ---------- diagnostics type ---------- *)
+
+let test_diag_render () =
+  let d = Diag.error ~rule:"NL-ARITY-01" (Diag.Node 3) "bad arity %d" 7 in
+  checks "text" "error   NL-ARITY-01 @ node 3: bad arity 7" (Diag.to_string d);
+  let j = Diag.to_json d in
+  checkb "json has rule" true
+    (String.length j > 0 && j.[0] = '{'
+    && contains j "\"rule\":\"NL-ARITY-01\"");
+  let quoted = Diag.warning ~rule:"X-01" Diag.Global "say \"hi\"\n" in
+  checkb "json escapes" true
+    (contains (Diag.to_json quoted) "\\\"hi\\\"\\n")
+
+(* ---------- netlist lints ---------- *)
+
+(* Splitter 3 that really drives only two consumers *)
+let test_splitter_fanout_mismatch () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let s = Netlist.add nl (Netlist.Splitter 3) [| a |] in
+  let b1 = Netlist.add nl Netlist.Buf [| s |] in
+  let b2 = Netlist.add nl Netlist.Buf [| s |] in
+  ignore (Netlist.add nl Netlist.Output [| b1 |]);
+  ignore (Netlist.add nl Netlist.Output [| b2 |]);
+  let diags = Netlist.validate_diags nl in
+  checki "NL-FANOUT-01 fires exactly once" 1 (count_rule "NL-FANOUT-01" diags);
+  checki "no other errors" 1 (errors diags);
+  (* legacy wrapper agrees *)
+  checkb "validate is Error" true
+    (match Netlist.validate nl with Error _ -> true | Ok _ -> false)
+
+let test_lint_clean_and_dead () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+  let b = Netlist.add nl ~name:"b" Netlist.Input [||] in
+  let x = Netlist.add nl Netlist.And [| a; b |] in
+  let dead = Netlist.add nl Netlist.Or [| a; b |] in
+  ignore dead;
+  ignore (Netlist.add nl ~name:"y" Netlist.Output [| x |]);
+  let diags = Lint.check nl in
+  checki "no errors" 0 (errors diags);
+  checki "NL-DEAD-01 once" 1 (count_rule "NL-DEAD-01" diags);
+  (* duplicate names *)
+  let nl2 = Netlist.create () in
+  let a = Netlist.add nl2 ~name:"sig" Netlist.Input [||] in
+  let n = Netlist.add nl2 ~name:"sig" Netlist.Not [| a |] in
+  ignore (Netlist.add nl2 Netlist.Output [| n |]);
+  checki "NL-DUP-01 once" 1 (count_rule "NL-DUP-01" (Lint.check nl2))
+
+(* ---------- AQFP legality ---------- *)
+
+(* legal chain: in -> buf -> buf -> out *)
+let balanced_chain () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+  let b1 = Netlist.add nl Netlist.Buf [| a |] in
+  let b2 = Netlist.add nl Netlist.Buf [| b1 |] in
+  ignore (Netlist.add nl ~name:"y" Netlist.Output [| b2 |]);
+  ignore (Netlist.levelize nl);
+  (nl, b2)
+
+let test_aqfp_phase_misalignment () =
+  let nl, b2 = balanced_chain () in
+  checki "clean chain" 0 (List.length (Aqfp_check.check nl));
+  Netlist.set_phase nl b2 3 (* was 2: fanin now two phases above *);
+  let diags = Aqfp_check.check nl in
+  checki "AQFP-PHASE-01 fires exactly once" 1
+    (count_rule "AQFP-PHASE-01" diags);
+  checki "nothing else fires" 1 (List.length diags)
+
+let test_aqfp_fanout_violation () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let b = Netlist.add nl Netlist.Buf [| a |] in
+  let c1 = Netlist.add nl Netlist.Buf [| b |] in
+  let c2 = Netlist.add nl Netlist.Buf [| b |] in
+  ignore (Netlist.add nl Netlist.Output [| c1 |]);
+  ignore (Netlist.add nl Netlist.Output [| c2 |]);
+  ignore (Netlist.levelize nl);
+  let diags = Aqfp_check.check nl in
+  checki "AQFP-FANOUT-01 fires exactly once" 1
+    (count_rule "AQFP-FANOUT-01" diags);
+  checki "nothing else fires" 1 (List.length diags)
+
+let test_aqfp_output_balancing () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let s = Netlist.add nl (Netlist.Splitter 2) [| a |] in
+  let b1 = Netlist.add nl Netlist.Buf [| s |] in
+  let b2 = Netlist.add nl Netlist.Buf [| b1 |] in
+  (* early output: retires at phase 2 while the design ends at 3 *)
+  let early = Netlist.add nl Netlist.Buf [| s |] in
+  ignore (Netlist.add nl Netlist.Output [| b2 |]);
+  ignore (Netlist.add nl Netlist.Output [| early |]);
+  ignore (Netlist.levelize nl);
+  let diags = Aqfp_check.check nl in
+  checki "AQFP-PHASE-02 fires exactly once" 1
+    (count_rule "AQFP-PHASE-02" diags);
+  checki "nothing else fires" 1 (List.length diags)
+
+(* ---------- equivalence guards ---------- *)
+
+let two_gate_pair kind_a kind_b =
+  let mk kind =
+    let nl = Netlist.create () in
+    let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+    let b = Netlist.add nl ~name:"b" Netlist.Input [||] in
+    let g = Netlist.add nl kind [| a; b |] in
+    ignore (Netlist.add nl ~name:"y" Netlist.Output [| g |]);
+    nl
+  in
+  (mk kind_a, mk kind_b)
+
+let test_equiv_guard () =
+  let same_a, same_b = two_gate_pair Netlist.And Netlist.And in
+  checki "equal pair is clean" 0
+    (List.length (Equiv.check_pair ~stage:"t" same_a same_b));
+  let diff_a, diff_b = two_gate_pair Netlist.And Netlist.Or in
+  let diags = Equiv.check_pair ~stage:"t" diff_a diff_b in
+  checki "EQ-DIFF-01 fires exactly once" 1 (count_rule "EQ-DIFF-01" diags);
+  (* the synthesis driver runs the guards and a real synthesis is clean *)
+  let aoi = Circuits.kogge_stone_adder 4 in
+  let _, report = Synth_flow.run ~check:true aoi in
+  checki "synthesis guards clean" 0 (errors report.Synth_flow.guard_diags)
+
+(* ---------- placement audit ---------- *)
+
+(* two-bit column design: 2 inputs, 2 buffers, 2 outputs; returns the
+   netlist and a placed problem *)
+let two_lane_problem () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+  let b = Netlist.add nl ~name:"b" Netlist.Input [||] in
+  let ba = Netlist.add nl Netlist.Buf [| a |] in
+  let bb = Netlist.add nl Netlist.Buf [| b |] in
+  ignore (Netlist.add nl ~name:"oa" Netlist.Output [| ba |]);
+  ignore (Netlist.add nl ~name:"ob" Netlist.Output [| bb |]);
+  ignore (Netlist.levelize nl);
+  let p = Problem.of_netlist Tech.default nl in
+  (nl, p)
+
+let test_place_audit () =
+  let nl, p = two_lane_problem () in
+  checki "clean placement" 0 (List.length (Place_audit.check nl p));
+  (* overlap: slam the second cell of row 0 onto the first *)
+  let saved = Problem.copy_positions p in
+  let row0 = p.Problem.row_cells.(0) in
+  p.Problem.cells.(row0.(1)).Problem.x <- p.Problem.cells.(row0.(0)).Problem.x;
+  let diags = Place_audit.check nl p in
+  checki "PL-OVERLAP-01 fires exactly once" 1 (count_rule "PL-OVERLAP-01" diags);
+  checki "nothing else fires" 1 (List.length diags);
+  Problem.restore_positions p saved;
+  (* row/phase mismatch *)
+  let buf = p.Problem.row_cells.(1).(0) in
+  let node = p.Problem.cells.(buf).Problem.node in
+  let old_phase = Netlist.phase nl node in
+  Netlist.set_phase nl node 5;
+  let diags = Place_audit.check nl p in
+  checki "PL-ROW-01 fires exactly once" 1 (count_rule "PL-ROW-01" diags);
+  Netlist.set_phase nl node old_phase;
+  (* off-grid *)
+  p.Problem.cells.(row0.(0)).Problem.x <- 3.7;
+  let diags = Place_audit.check nl p in
+  checki "PL-GRID-01 fires exactly once" 1 (count_rule "PL-GRID-01" diags);
+  Problem.restore_positions p saved
+
+(* ---------- LVS-lite ---------- *)
+
+(* pin coordinates, mirroring the router's conventions *)
+let src_pin p ni =
+  let e = p.Problem.nets.(ni) in
+  let c = p.Problem.cells.(e.Problem.src) in
+  ( Problem.pin_x p ni `Src,
+    Problem.row_top p c.Problem.row +. c.Problem.lib.Cell.height )
+
+let dst_pin p ni =
+  let e = p.Problem.nets.(ni) in
+  let c = p.Problem.cells.(e.Problem.dst) in
+  (Problem.pin_x p ni `Dst, Problem.row_top p c.Problem.row)
+
+(* hand-drawn rectilinear route src-pin -> dx at height ym -> dst-pin *)
+let fake_route p ~net ~to_net ~ym =
+  let sx, sy = src_pin p net in
+  let dx, dy = dst_pin p to_net in
+  let points =
+    if Float.abs (sx -. dx) < 1e-9 then [ (sx, sy); (dx, dy) ]
+    else [ (sx, sy); (sx, ym); (dx, ym); (dx, dy) ]
+  in
+  { Router.net; points; vias = 2; length = 0.0 }
+
+let routed_two_lane () =
+  let nl, p = two_lane_problem () in
+  ignore (Placer.place Placer.Superflow p);
+  let routing = Router.route_all p in
+  (nl, p, routing)
+
+let test_lvs_clean () =
+  let _, p, routing = routed_two_lane () in
+  let layout = Layout.build p routing in
+  checki "clean routed layout" 0 (List.length (Lvs.check p layout))
+
+let test_lvs_open () =
+  let _, p, routing = routed_two_lane () in
+  let layout = Layout.build p routing in
+  (* erase net 0's drawn geometry *)
+  let keep (w : Layout.wire) = w.Layout.net <> 0 in
+  let layout' =
+    {
+      layout with
+      Layout.wires = Array.of_list (List.filter keep (Array.to_list layout.Layout.wires));
+      vias =
+        Array.of_list
+          (List.filter (fun v -> v.Layout.net <> 0) (Array.to_list layout.Layout.vias));
+    }
+  in
+  let diags = Lvs.check p layout' in
+  checki "LVS-OPEN-01 fires exactly once" 1 (count_rule "LVS-OPEN-01" diags);
+  checki "nothing else fires" 1 (List.length diags)
+
+let test_lvs_swap () =
+  let _, p, routing = routed_two_lane () in
+  (* nets 0 and 1 both span row 0 -> row 1; redraw them crossed, at
+     different jog heights so the two drawn nets stay separate *)
+  let _, sy = src_pin p 0 in
+  let routes =
+    Array.map
+      (fun rt ->
+        match rt.Router.net with
+        | 0 -> fake_route p ~net:0 ~to_net:1 ~ym:(sy +. 7.0)
+        | 1 -> fake_route p ~net:1 ~to_net:0 ~ym:(sy +. 13.0)
+        | _ -> rt)
+      routing.Router.routes
+  in
+  let layout = Layout.build p { routing with Router.routes } in
+  let diags = Lvs.check p layout in
+  checki "LVS-SWAP-01 fires exactly twice (both directions)" 2
+    (count_rule "LVS-SWAP-01" diags);
+  checki "no opens reported on a swap" 0 (count_rule "LVS-OPEN-01" diags)
+
+let test_lvs_short_and_float () =
+  let _, p, routing = routed_two_lane () in
+  let layout = Layout.build p routing in
+  (* a drawn bridge between the two sink pins shorts both nets *)
+  let x0, y0 = dst_pin p 0 and x1, y1 = dst_pin p 1 in
+  checkb "sinks share a row" true (Float.abs (y0 -. y1) < 1e-9);
+  let bridge = { Layout.net = 0; layer = 10; a = Geom.pt x0 y0; b = Geom.pt x1 y1 } in
+  (* plus a floating stub far away from everything *)
+  let stub =
+    { Layout.net = 0; layer = 10; a = Geom.pt 900.0 900.0; b = Geom.pt 950.0 900.0 }
+  in
+  let layout' =
+    { layout with Layout.wires = Array.append layout.Layout.wires [| bridge; stub |] }
+  in
+  let diags = Lvs.check p layout' in
+  checki "LVS-SHORT-01 fires exactly once" 1 (count_rule "LVS-SHORT-01" diags);
+  checki "LVS-FLOAT-01 fires exactly once" 1 (count_rule "LVS-FLOAT-01" diags);
+  checki "opens suppressed on shorted nets" 0 (count_rule "LVS-OPEN-01" diags)
+
+(* ---------- full gate + determinism ---------- *)
+
+let test_full_gate_clean_and_deterministic () =
+  let render jobs =
+    let r =
+      Flow.run ~jobs ~check:true (Circuits.benchmark "adder8")
+    in
+    match r.Flow.check_report with
+    | None -> Alcotest.fail "check report missing"
+    | Some rep ->
+        checkb "adder8 gate is clean" true (Check.ok rep);
+        (Check.render_text rep, Check.render_json rep)
+  in
+  let t1, j1 = render 1 in
+  let t4, j4 = render 4 in
+  Parallel.auto_jobs ();
+  checks "text report identical at jobs=1/jobs=4" t1 t4;
+  checks "json report identical at jobs=1/jobs=4" j1 j4
+
+let test_crashing_pass_is_contained () =
+  let rep = Check.run [ Check.pass "boom" (fun () -> failwith "nope") ] in
+  checki "CHECK-CRASH-01 once" 1 (count_rule "CHECK-CRASH-01" rep.Check.diags);
+  checkb "gate fails" false (Check.ok rep)
+
+(* ---------- fuzz: checker must survive Fault-mutated netlists ---------- *)
+
+let test_fuzz_fault_mutations () =
+  let aqfp = Synth_flow.run_quiet (Circuits.kogge_stone_adder 4) in
+  let faults = Fault.all_faults aqfp in
+  let n_checked = ref 0 in
+  List.iteri
+    (fun i f ->
+      if i mod 7 = 0 then begin
+        let mutated = Netlist.copy aqfp in
+        (* pin the faulted gate's output: retype to a constant, like a
+           JJ stuck in one flux state *)
+        (match Netlist.kind mutated f.Fault.node with
+        | Netlist.Input | Netlist.Output -> ()
+        | _ ->
+            Netlist.set_kind mutated f.Fault.node (Netlist.Const f.Fault.stuck_at);
+            Netlist.set_fanins mutated f.Fault.node [||]);
+        (* every pass family must produce diagnostics, not exceptions *)
+        let d1 = Lint.check mutated in
+        let d2 = Aqfp_check.check mutated in
+        ignore (List.length d1 + List.length d2);
+        incr n_checked
+      end)
+    faults;
+  checkb "fuzzed some netlists" true (!n_checked > 20)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "diagnostics",
+        [
+          Alcotest.test_case "render text and json" `Quick test_diag_render;
+          Alcotest.test_case "crashing pass contained" `Quick
+            test_crashing_pass_is_contained;
+        ] );
+      ( "netlist lints",
+        [
+          Alcotest.test_case "splitter fanout mismatch (NL-FANOUT-01)" `Quick
+            test_splitter_fanout_mismatch;
+          Alcotest.test_case "dead logic and duplicate names" `Quick
+            test_lint_clean_and_dead;
+        ] );
+      ( "aqfp legality",
+        [
+          Alcotest.test_case "phase misalignment (AQFP-PHASE-01)" `Quick
+            test_aqfp_phase_misalignment;
+          Alcotest.test_case "fan-out > 1 (AQFP-FANOUT-01)" `Quick
+            test_aqfp_fanout_violation;
+          Alcotest.test_case "output balancing (AQFP-PHASE-02)" `Quick
+            test_aqfp_output_balancing;
+        ] );
+      ( "equivalence",
+        [ Alcotest.test_case "guards (EQ-DIFF-01)" `Quick test_equiv_guard ] );
+      ( "placement audit",
+        [
+          Alcotest.test_case "overlap / row / grid rules" `Quick
+            test_place_audit;
+        ] );
+      ( "lvs-lite",
+        [
+          Alcotest.test_case "clean routed layout" `Quick test_lvs_clean;
+          Alcotest.test_case "open (LVS-OPEN-01)" `Quick test_lvs_open;
+          Alcotest.test_case "swapped sinks (LVS-SWAP-01)" `Quick test_lvs_swap;
+          Alcotest.test_case "short + float (LVS-SHORT-01)" `Quick
+            test_lvs_short_and_float;
+        ] );
+      ( "full gate",
+        [
+          Alcotest.test_case "adder8 clean, reports identical at jobs=1/4"
+            `Quick test_full_gate_clean_and_deterministic;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "Fault-mutated netlists never crash the checker"
+            `Quick test_fuzz_fault_mutations;
+        ] );
+    ]
