@@ -386,6 +386,77 @@ let speedup_table () =
   Table.print t;
   print_newline ()
 
+(* ---- cache study: cold vs warm flow through the design database ----
+
+   Emits machine-readable BENCH_CACHE lines (one JSON object per line,
+   next to BENCH_STAGE) so CI can track warm-path speedups. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_db_dir name =
+  let f = Filename.temp_file ("sfdb_bench_" ^ name) "" in
+  Sys.remove f;
+  f
+
+let cache_json ~circuit ~cold_s ~warm_s ~hits ~misses =
+  Printf.printf
+    "BENCH_CACHE {\"circuit\":\"%s\",\"cold_s\":%.4f,\"warm_s\":%.4f,\"hits\":%d,\"misses\":%d,\"speedup\":%.1f}\n"
+    circuit cold_s warm_s hits misses
+    (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
+
+let cache_study () =
+  print_endline
+    "Extension: cold vs warm flow through the design database (sf_db)";
+  let circuits =
+    if quick then [ "adder8" ] else [ "adder8"; "apc32"; "decoder" ]
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "circuit"; "cold (s)"; "warm (s)"; "speedup"; "warm hits"; "identical" ]
+  in
+  List.iter
+    (fun name ->
+      let dir = fresh_db_dir name in
+      let db =
+        match Db.open_ dir with
+        | Ok db -> db
+        | Error d -> failwith (Diag.to_string d)
+      in
+      let aoi = Circuits.benchmark name in
+      let cold, cold_s = Wallclock.time (fun () -> Flow.run ~check:true ~db aoi) in
+      Db.reset_log db;
+      let warm, warm_s = Wallclock.time (fun () -> Flow.run ~check:true ~db aoi) in
+      let hits, misses = (Db.hits db, Db.misses db) in
+      (* the warm path must reproduce the cold artifacts byte for byte *)
+      let identical =
+        Gds.to_bytes (Layout.to_gds cold.Flow.layout)
+          = Gds.to_bytes (Layout.to_gds warm.Flow.layout)
+        && Check.render_text (Option.get cold.Flow.check_report)
+           = Check.render_text (Option.get warm.Flow.check_report)
+      in
+      cache_json ~circuit:name ~cold_s ~warm_s ~hits ~misses;
+      Table.add_row t
+        [
+          name;
+          Table.fmt_float ~dec:3 cold_s;
+          Table.fmt_float ~dec:3 warm_s;
+          (if warm_s > 0.0 then Printf.sprintf "%.0fx" (cold_s /. warm_s)
+           else "n/a");
+          Printf.sprintf "%d/%d" hits (hits + misses);
+          (if identical then "yes" else "NO");
+        ];
+      rm_rf dir)
+    circuits;
+  Table.print t;
+  print_newline ()
+
 let run_ablations () =
   timing_yield ();
   seed_stability ();
@@ -536,6 +607,7 @@ let () =
   run_ablations ();
   scaling_study ();
   speedup_table ();
+  cache_study ();
   (* EXPERIMENTS.md from the same (memoized) measurements *)
   if not quick then begin
     let md = Report.experiments_markdown table_circuits in

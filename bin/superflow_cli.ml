@@ -102,35 +102,128 @@ let load_tech = function
   | None -> Ok Tech.default
   | Some path -> Tech.of_file path
 
-let cmd_flow input placer_name gds_out def_out svg_out tech_file jobs check =
-  match (load_input input, placer_of_string placer_name, load_tech tech_file) with
-  | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
-  | Ok aoi, Ok algorithm, Ok tech ->
-      let r =
-        Flow.run ~tech ~algorithm ?jobs ~check ?gds_path:gds_out
-          ?def_path:def_out aoi
+let stage_of_cli s =
+  match Flow.stage_of_string (String.lowercase_ascii s) with
+  | Ok st -> st
+  | Error e -> exit_err e
+
+let cmd_flow input placer_name router_name gds_out def_out svg_out tech_file
+    jobs check seed db_dir from_opt to_opt resume check_out =
+  match
+    ( load_input input,
+      placer_of_string placer_name,
+      router_of_string router_name,
+      load_tech tech_file )
+  with
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      exit_err e
+  | Ok aoi, Ok algorithm, Ok router, Ok tech ->
+      if db_dir = None && (from_opt <> None || resume) then
+        exit_err "--from and --resume need a design database (--db DIR)";
+      if resume then (
+        match db_dir with
+        | Some dir when not (Sys.file_exists (Filename.concat dir "meta")) ->
+            exit_err
+              (Printf.sprintf "--resume: %s holds no previous run to resume"
+                 dir)
+        | _ -> ());
+      let from_stage =
+        match from_opt with Some s -> stage_of_cli s | None -> Flow.Synth
       in
-      (match r.Flow.check_report with
-      | Some rep ->
-          List.iter
-            (fun d -> Format.printf "%a@." Diag.pp d)
-            rep.Check.diags
-      | None -> ());
-      (match svg_out with
-      | Some path ->
-          Svg.write_file path r.Flow.layout;
-          Format.printf "SVG written to %s@." path
-      | None -> ());
-      Format.printf "%a@." Flow.pp_summary r;
-      (match gds_out with
-      | Some path -> Format.printf "GDSII written to %s@." path
-      | None -> ());
-      (match def_out with
-      | Some path -> Format.printf "DEF written to %s@." path
-      | None -> ());
-      (match r.Flow.check_report with
-      | Some rep when not (Check.ok rep) -> exit 1
-      | _ -> ())
+      let to_stage =
+        match to_opt with
+        | Some s -> stage_of_cli s
+        | None -> if check then Flow.Check else Flow.Layout
+      in
+      if check && Flow.stage_rank to_stage < Flow.stage_rank Flow.Check then
+        exit_err
+          (Printf.sprintf "--check needs the full graph but --to %s stops early"
+             (Flow.stage_name to_stage));
+      let db =
+        match db_dir with
+        | None -> None
+        | Some dir -> (
+            match Db.open_ dir with
+            | Ok db -> Some db
+            | Error d -> exit_err (Diag.to_string d))
+      in
+      let staged =
+        match
+          Flow.run_staged ~tech ~algorithm ~router ?seed ?jobs ?db ~from_stage
+            ~to_stage ?gds_path:gds_out ?def_path:def_out aoi
+        with
+        | Ok s -> s
+        | Error d -> exit_err (Diag.to_string d)
+      in
+      List.iter
+        (fun d -> Format.eprintf "%a@." Diag.pp d)
+        staged.Flow.db_warnings;
+      if db <> None then
+        List.iter
+          (fun (stage, outcome) ->
+            match outcome with
+            | Flow.Cached s ->
+                Format.printf "stage %s: cache hit (%.2fs)@."
+                  (Flow.stage_name stage) s
+            | Flow.Computed s ->
+                Format.printf "stage %s: computed (%.2fs)@."
+                  (Flow.stage_name stage) s)
+          staged.Flow.outcomes;
+      (match staged.Flow.result with
+      | Some r ->
+          (match r.Flow.check_report with
+          | Some rep ->
+              List.iter (fun d -> Format.printf "%a@." Diag.pp d) rep.Check.diags
+          | None -> ());
+          (match svg_out with
+          | Some path ->
+              Svg.write_file path r.Flow.layout;
+              Format.printf "SVG written to %s@." path
+          | None -> ());
+          Format.printf "%a@." Flow.pp_summary r;
+          (match gds_out with
+          | Some path -> Format.printf "GDSII written to %s@." path
+          | None -> ());
+          (match def_out with
+          | Some path -> Format.printf "DEF written to %s@." path
+          | None -> ());
+          (match (check_out, r.Flow.check_report) with
+          | Some path, Some rep ->
+              let oc = open_out path in
+              output_string oc (Check.render_text rep);
+              close_out oc;
+              Format.printf "check report written to %s@." path
+          | Some _, None ->
+              exit_err "--check-out needs the check stage (--check or --to check)"
+          | None, _ -> ());
+          (match r.Flow.check_report with
+          | Some rep when not (Check.ok rep) -> exit 1
+          | _ -> ())
+      | None ->
+          (* partial run ([--to] before layout): report what exists *)
+          (match staged.Flow.synth with
+          | Some (aqfp0, report) ->
+              Format.printf "synthesis: %a@." Synth_flow.pp_report report;
+              Format.printf "aqfp:  %a@." Netlist.pp_stats aqfp0
+          | None -> ());
+          (match staged.Flow.placed with
+          | Some (_, _, placement, buffer_lines) ->
+              Format.printf "placement: %a@." Placer.pp_result placement;
+              Format.printf "buffer lines: %d@." buffer_lines
+          | None -> ());
+          (match staged.Flow.routed with
+          | Some (routing, _, violations, rounds) ->
+              Format.printf
+                "routing: wl=%.0fum vias=%d expansions=%d@."
+                routing.Router.wirelength routing.Router.total_vias
+                routing.Router.expansions;
+              Format.printf "drc: %d violation(s), %d fix round(s)@."
+                (List.length violations) rounds
+          | None -> ());
+          (match def_out with
+          | Some path when staged.Flow.routed <> None ->
+              Format.printf "DEF written to %s@." path
+          | _ -> ()))
 
 (* ---- check ---- *)
 
@@ -348,10 +441,45 @@ let check_flag_arg =
                equivalence guards, placement audit, route check, DRC, \
                LVS-lite) and fail on any error-severity diagnostic.")
 
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"Placement seed (default 1). Part of the place stage's cache \
+               key.")
+
+let db_arg =
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+         ~doc:"Attach a design database at $(docv) (created if missing): \
+               every stage becomes content-addressed — reruns with unchanged \
+               inputs load their artifacts instead of recomputing, and runs \
+               killed mid-flow resume from the last persisted stage.")
+
+let from_arg =
+  Arg.(value & opt (some string) None & info [ "from" ] ~docv:"STAGE"
+         ~doc:"Require every stage before $(docv) (synth, place, route, \
+               layout, check) to already be in the database — fail instead \
+               of recomputing. Needs --db.")
+
+let to_arg =
+  Arg.(value & opt (some string) None & info [ "to" ] ~docv:"STAGE"
+         ~doc:"Stop the flow after $(docv) (synth, place, route, layout, \
+               check). $(b,--to check) implies $(b,--check).")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume a previous (possibly interrupted) run: the database \
+               given with --db must already exist; persisted stages are \
+               loaded, the rest recomputed.")
+
+let check_out_arg =
+  Arg.(value & opt (some string) None & info [ "check-out" ] ~docv:"FILE"
+         ~doc:"Write the check stage's text report to $(docv) (needs --check \
+               or --to check).")
+
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
-    Term.(const cmd_flow $ input_arg $ placer_arg $ gds_arg $ def_arg $ svg_arg
-          $ tech_arg $ jobs_arg $ check_flag_arg)
+    Term.(const cmd_flow $ input_arg $ placer_arg $ router_arg $ gds_arg
+          $ def_arg $ svg_arg $ tech_arg $ jobs_arg $ check_flag_arg $ seed_arg
+          $ db_arg $ from_arg $ to_arg $ resume_arg $ check_out_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ]

@@ -57,106 +57,475 @@ let timed f =
   let v = f () in
   (v, Wallclock.now_s () -. t0)
 
-let run ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
-    ?(router = Router.Sequential) ?(seed = 1) ?jobs ?(check = false) ?gds_path
-    ?def_path aoi =
-  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
-  (* 1. logic synthesis: AOI -> MAJ -> balanced AQFP netlist *)
-  let (aqfp0, synth_report), synth_s =
-    timed (fun () -> Synth_flow.run ~check aoi)
-  in
-  (* 2. placement *)
-  let (placement, p0), place_s =
-    timed (fun () ->
-        let p = Problem.of_netlist tech aqfp0 in
-        let r = Placer.place ~seed algorithm p in
-        (r, p))
-  in
-  (* 3. max-wirelength buffer-line insertion (re-threads long hops
-     through whole rows of buffers, keeping the pipeline balanced) *)
-  let aqfp, p, buffer_lines = Bufferline.insert aqfp0 p0 in
-  (* newly inserted buffer rows start at crude midpoints; one light
-     detailed pass settles them *)
-  if buffer_lines > 0 then
-    ignore
-      (Detailed.run
-         ~options:{ Detailed.default_options with max_passes = 3; window = 2 }
-         p);
-  (* 4. routing + DRC fix loop: violating regions get extra space.
-     Channels are pre-sized from the placement's channel density so
-     the router's reactive expansion loop has less to do. *)
-  ignore (Congestion.preexpand p);
-  let route_once () = Router.route_all ~algorithm:router p in
-  let routing0, route_s = timed route_once in
-  let build_layout routing = Layout.build p routing in
-  let rec fix_loop routing rounds =
-    let layout = build_layout routing in
-    let violations = Drc.check layout in
-    if violations = [] || rounds >= 3 then (routing, layout, violations, rounds)
-    else begin
-      let gaps = Drc.gap_hints p violations in
-      if gaps = [] then (routing, layout, violations, rounds)
-      else begin
-        List.iter
-          (fun g ->
-            if g >= 0 && g < Array.length p.Problem.row_gaps then
-              p.Problem.row_gaps.(g) <- p.Problem.row_gaps.(g) +. tech.Tech.s_min)
-          gaps;
-        let routing' = Router.route_all ~algorithm:router p in
-        fix_loop routing' (rounds + 1)
-      end
-    end
-  in
-  let (routing, layout, violations, drc_fix_rounds), layout_s =
-    timed (fun () -> fix_loop routing0 0)
-  in
-  (match gds_path with Some path -> Layout.write_gds path layout | None -> ());
-  (match def_path with
-  | Some path -> Def.write_file path (Def.of_design ~design:"superflow" p routing)
-  | None -> ());
-  (* sign-off timing uses the actual routed lengths *)
-  let sta = Sta.analyze_routed p routing in
-  let energy = Energy.of_netlist tech aqfp in
-  let result0 =
-    {
-      aqfp_netlist = aqfp;
-      problem = p;
-      routing;
-      layout;
-      violations;
-      synth_report;
-      placement;
-      sta;
-      energy;
-      buffer_lines;
-      drc_fix_rounds;
-      check_report = None;
-      times = { synth_s; place_s; route_s; layout_s; check_s = 0.0 };
-    }
-  in
-  if not check then result0
-  else
-    (* 5. the static-verification gate over every stage handoff *)
-    let report, check_s = timed (fun () -> Check.run (check_passes result0)) in
-    {
-      result0 with
-      check_report = Some report;
-      times = { result0.times with check_s };
-    }
+(* ---- the explicit stage graph ---- *)
 
-let run_verilog ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path source
-    =
+type stage = Synth | Place | Route | Layout | Check
+
+let stages = [ Synth; Place; Route; Layout; Check ]
+
+let stage_name = function
+  | Synth -> "synth"
+  | Place -> "place"
+  | Route -> "route"
+  | Layout -> "layout"
+  | Check -> "check"
+
+let stage_of_string = function
+  | "synth" -> Ok Synth
+  | "place" -> Ok Place
+  | "route" -> Ok Route
+  | "layout" -> Ok Layout
+  | "check" -> Ok Check
+  | s ->
+      Error
+        (Printf.sprintf "unknown stage %S (synth|place|route|layout|check)" s)
+
+let stage_rank = function
+  | Synth -> 0
+  | Place -> 1
+  | Route -> 2
+  | Layout -> 3
+  | Check -> 4
+
+type outcome = Cached of float | Computed of float
+
+type staged = {
+  outcomes : (stage * outcome) list;
+  db_warnings : Diag.t list;
+  synth : (Netlist.t * Synth_flow.report) option;
+  placed : (Netlist.t * Problem.t * Placer.result * int) option;
+  routed : (Router.result * Problem.t * Drc.violation list * int) option;
+  built : (Layout.t * Sta.report * Energy.report) option;
+  checked : Check.report option;
+  result : result option;
+}
+
+(* engine format tag: part of every cache key, so changing the stage
+   graph (not just one codec) invalidates the whole cache *)
+let graph_version = "sf-flow-graph-1"
+
+exception Stage_failed of Diag.t
+
+let slot_err name = Codec.err ~rule:"DB-SLOT-01" "manifest lacks slot %S" name
+
+let load_obj db codec slots name =
+  match List.assoc_opt name slots with
+  | None -> Error (slot_err name)
+  | Some h -> (
+      match Db.get_object db h with
+      | Error _ as e -> e
+      | Ok bytes -> codec.Artifact.decode bytes)
+
+let scalar scalars name =
+  match List.assoc_opt name scalars with
+  | Some v -> Ok v
+  | None -> Error (slot_err name)
+
+let put db codec v = Db.put_object db (codec.Artifact.encode v)
+
+let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
+    ?(router = Router.Sequential) ?(seed = 1) ?jobs ?db ?(from_stage = Synth)
+    ?(to_stage = Layout) ?gds_path ?def_path aoi =
+  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
+  (* running "to check" switches the synthesis equivalence guards on,
+     exactly like [run ~check:true] *)
+  let guard = stage_rank to_stage >= stage_rank Check in
+  if stage_rank from_stage > stage_rank to_stage then
+    Error
+      (Codec.err ~rule:"DB-RANGE-01" "--from %s is after --to %s"
+         (stage_name from_stage) (stage_name to_stage))
+  else if db = None && from_stage <> Synth then
+    Error
+      (Codec.err ~rule:"DB-RANGE-01"
+         "--from %s needs a design database to load the earlier stages from"
+         (stage_name from_stage))
+  else begin
+    let outcomes = ref [] in
+    let note stage o = outcomes := (stage, o) :: !outcomes in
+    let included stage = stage_rank stage <= stage_rank to_stage in
+    (* One stage: cache lookup (when a database is attached), else
+       compute and persist. [parts] builds the cache key — input
+       artifact hashes plus every parameter that affects the stage;
+       the worker-pool size is deliberately absent (results are
+       bit-identical at any [--jobs]). Corrupt cache entries degrade
+       to a miss with a warning and are overwritten. *)
+    let exec ~stage ~parts ~load ~store ~compute =
+      let name = stage_name stage in
+      let must_hit = stage_rank stage < stage_rank from_stage in
+      match db with
+      | None ->
+          let v, s = timed compute in
+          note stage (Computed s);
+          (v, [])
+      | Some dbh -> (
+          let key = Db.stage_key (graph_version :: name :: parts ()) in
+          let cached =
+            match Db.get_stage dbh ~stage:name ~key with
+            | None -> None
+            | Some (slots, scalars) -> (
+                match timed (fun () -> load dbh slots scalars) with
+                | Ok v, s -> Some (v, s, slots)
+                | Error d, _ ->
+                    Db.warn dbh
+                      {
+                        d with
+                        Diag.severity = Diag.Warning;
+                        message =
+                          Printf.sprintf
+                            "stage %s: unusable cache entry, recomputing (%s)"
+                            name d.Diag.message;
+                      };
+                    None)
+          in
+          match cached with
+          | Some (v, s, slots) ->
+              Db.record dbh name Db.Hit s;
+              note stage (Cached s);
+              (v, slots)
+          | None ->
+              if must_hit then
+                raise
+                  (Stage_failed
+                     (Codec.err ~rule:"DB-FROM-01"
+                        "stage %s is not in the database for these inputs; \
+                         rerun without --from"
+                        name));
+              let v, s = timed compute in
+              let slots, scalars = store dbh v in
+              Db.put_stage dbh ~stage:name ~key ~slots ~scalars;
+              Db.record dbh name Db.Miss s;
+              note stage (Computed s);
+              (v, slots))
+    in
+    let shash slots name =
+      match List.assoc_opt name slots with Some h -> h | None -> "?"
+    in
+    let h_aoi = lazy (Db.hash (aoi |> Artifact.netlist.Artifact.encode)) in
+    let h_tech = lazy (Db.hash (tech |> Artifact.tech.Artifact.encode)) in
+    try
+      (* 1. logic synthesis: AOI -> MAJ -> balanced AQFP netlist *)
+      let (aqfp0, synth_report), s_synth =
+        exec ~stage:Synth
+          ~parts:(fun () ->
+            [ Lazy.force h_aoi; (if guard then "guards" else "noguards") ])
+          ~load:(fun db slots _ ->
+            match load_obj db Artifact.netlist slots "aqfp0" with
+            | Error _ as e -> e
+            | Ok nl -> (
+                match load_obj db Artifact.synth_report slots "report" with
+                | Error e -> Error e
+                | Ok rep -> Ok (nl, rep)))
+          ~store:(fun db (nl, rep) ->
+            ( [
+                ("aqfp0", put db Artifact.netlist nl);
+                ("report", put db Artifact.synth_report rep);
+              ],
+              [] ))
+          ~compute:(fun () -> Synth_flow.run ~check:guard aoi)
+      in
+      (* 2. placement + max-wirelength buffer-line insertion (re-threads
+         long hops through whole rows of buffers, keeping the pipeline
+         balanced) + channel pre-sizing for the router *)
+      let placed =
+        if not (included Place) then None
+        else
+          Some
+            (exec ~stage:Place
+               ~parts:(fun () ->
+                 [
+                   shash s_synth "aqfp0";
+                   Lazy.force h_tech;
+                   Placer.algorithm_name algorithm;
+                   string_of_int seed;
+                 ])
+               ~load:(fun db slots scalars ->
+                 match load_obj db Artifact.netlist slots "aqfp" with
+                 | Error _ as e -> e
+                 | Ok aqfp -> (
+                     match load_obj db Artifact.problem slots "problem" with
+                     | Error _ as e -> e
+                     | Ok p -> (
+                         match
+                           load_obj db Artifact.placement slots "placement"
+                         with
+                         | Error _ as e -> e
+                         | Ok placement -> (
+                             match scalar scalars "buffer_lines" with
+                             | Error e -> Error e
+                             | Ok lines -> Ok (aqfp, p, placement, lines)))))
+               ~store:(fun db (aqfp, p, placement, lines) ->
+                 ( [
+                     ("aqfp", put db Artifact.netlist aqfp);
+                     ("problem", put db Artifact.problem p);
+                     ("placement", put db Artifact.placement placement);
+                   ],
+                   [ ("buffer_lines", lines) ] ))
+               ~compute:(fun () ->
+                 let p0 = Problem.of_netlist tech aqfp0 in
+                 let placement = Placer.place ~seed algorithm p0 in
+                 let aqfp, p, buffer_lines = Bufferline.insert aqfp0 p0 in
+                 (* newly inserted buffer rows start at crude midpoints;
+                    one light detailed pass settles them *)
+                 if buffer_lines > 0 then
+                   ignore
+                     (Detailed.run
+                        ~options:
+                          {
+                            Detailed.default_options with
+                            max_passes = 3;
+                            window = 2;
+                          }
+                        p);
+                 (* pre-size channels from the placement's channel
+                    density so the router's reactive expansion loop has
+                    less to do *)
+                 ignore (Congestion.preexpand p);
+                 (aqfp, p, placement, buffer_lines)))
+      in
+      (* 3. routing + DRC fix loop: violating regions get extra space
+         and are re-routed. The final layout of the loop is kept as an
+         in-memory memo so a cold run does not rebuild it in stage 4;
+         it is not persisted (stage 4 owns the layout artifact). *)
+      let memo = ref None in
+      let routed =
+        match placed with
+        | None -> None
+        | Some ((_, p, _, _), s_place) ->
+            if not (included Route) then None
+            else
+              Some
+                (exec ~stage:Route
+                   ~parts:(fun () ->
+                     [
+                       shash s_place "problem";
+                       (match router with
+                       | Router.Sequential -> "sequential"
+                       | Router.Negotiated -> "negotiated");
+                     ])
+                   ~load:(fun db slots scalars ->
+                     match load_obj db Artifact.routing slots "routing" with
+                     | Error _ as e -> e
+                     | Ok routing -> (
+                         match load_obj db Artifact.problem slots "problem" with
+                         | Error _ as e -> e
+                         | Ok p' -> (
+                             match load_obj db Artifact.drc slots "drc" with
+                             | Error _ as e -> e
+                             | Ok violations -> (
+                                 match scalar scalars "fix_rounds" with
+                                 | Error e -> Error e
+                                 | Ok rounds ->
+                                     Ok (routing, p', violations, rounds)))))
+                   ~store:(fun db (routing, p', violations, rounds) ->
+                     ( [
+                         ("routing", put db Artifact.routing routing);
+                         ("problem", put db Artifact.problem p');
+                         ("drc", put db Artifact.drc violations);
+                       ],
+                       [ ("fix_rounds", rounds) ] ))
+                   ~compute:(fun () ->
+                     let routing0 = Router.route_all ~algorithm:router p in
+                     let rec fix_loop routing rounds =
+                       let layout = Layout.build p routing in
+                       let violations = Drc.check layout in
+                       if violations = [] || rounds >= 3 then begin
+                         memo := Some layout;
+                         (routing, p, violations, rounds)
+                       end
+                       else begin
+                         let gaps = Drc.gap_hints p violations in
+                         if gaps = [] then begin
+                           memo := Some layout;
+                           (routing, p, violations, rounds)
+                         end
+                         else begin
+                           List.iter
+                             (fun g ->
+                               if
+                                 g >= 0
+                                 && g < Array.length p.Problem.row_gaps
+                               then
+                                 p.Problem.row_gaps.(g) <-
+                                   p.Problem.row_gaps.(g) +. tech.Tech.s_min)
+                             gaps;
+                           let routing' =
+                             Router.route_all ~algorithm:router p
+                           in
+                           fix_loop routing' (rounds + 1)
+                         end
+                       end
+                     in
+                     fix_loop routing0 0))
+      in
+      (* DEF captures placement + routing; it can be written as soon as
+         the route stage has run *)
+      (match (def_path, routed) with
+      | Some path, Some ((routing, p', _, _), _) ->
+          Def.write_file path (Def.of_design ~design:"superflow" p' routing)
+      | _ -> ());
+      (* 4. layout assembly + sign-off timing (actual routed lengths)
+         + adiabatic energy *)
+      let built =
+        match (placed, routed) with
+        | Some ((aqfp, _, _, _), s_place), Some ((routing, p', _, _), s_route)
+          ->
+            if not (included Layout) then None
+            else
+              Some
+                (exec ~stage:Layout
+                   ~parts:(fun () ->
+                     [
+                       shash s_route "problem";
+                       shash s_route "routing";
+                       shash s_place "aqfp";
+                     ])
+                   ~load:(fun db slots _ ->
+                     match load_obj db Artifact.layout slots "layout" with
+                     | Error _ as e -> e
+                     | Ok layout -> (
+                         match load_obj db Artifact.sta slots "sta" with
+                         | Error _ as e -> e
+                         | Ok sta -> (
+                             match load_obj db Artifact.energy slots "energy" with
+                             | Error _ as e -> e
+                             | Ok energy -> Ok (layout, sta, energy))))
+                   ~store:(fun db (layout, sta, energy) ->
+                     ( [
+                         ("layout", put db Artifact.layout layout);
+                         ("sta", put db Artifact.sta sta);
+                         ("energy", put db Artifact.energy energy);
+                       ],
+                       [] ))
+                   ~compute:(fun () ->
+                     let layout =
+                       match !memo with
+                       | Some l -> l
+                       | None -> Layout.build p' routing
+                     in
+                     let sta = Sta.analyze_routed p' routing in
+                     let energy = Energy.of_netlist tech aqfp in
+                     (layout, sta, energy)))
+        | _ -> None
+      in
+      (match (gds_path, built) with
+      | Some path, Some ((layout, _, _), _) -> Layout.write_gds path layout
+      | _ -> ());
+      let seconds stage =
+        match List.assoc_opt stage !outcomes with
+        | Some (Cached s) | Some (Computed s) -> s
+        | None -> 0.0
+      in
+      (* assemble the classic flow result as soon as every physical
+         stage is present *)
+      let result0 =
+        match (placed, routed, built) with
+        | ( Some ((aqfp, _, placement, buffer_lines), _),
+            Some ((routing, p', violations, rounds), _),
+            Some ((layout, sta, energy), _) ) ->
+            Some
+              {
+                aqfp_netlist = aqfp;
+                problem = p';
+                routing;
+                layout;
+                violations;
+                synth_report;
+                placement;
+                sta;
+                energy;
+                buffer_lines;
+                drc_fix_rounds = rounds;
+                check_report = None;
+                times =
+                  {
+                    synth_s = seconds Synth;
+                    place_s = seconds Place;
+                    route_s = seconds Route;
+                    layout_s = seconds Layout;
+                    check_s = 0.0;
+                  };
+              }
+        | _ -> None
+      in
+      (* 5. the static-verification gate over every stage handoff *)
+      let checked =
+        match result0 with
+        | Some r0 when included Check ->
+            let report, _ =
+              exec ~stage:Check
+                ~parts:(fun () ->
+                  match (placed, routed, built) with
+                  | Some (_, s_place), Some (_, s_route), Some (_, s_layout) ->
+                      [
+                        shash s_place "aqfp";
+                        shash s_synth "report";
+                        shash s_route "problem";
+                        shash s_route "routing";
+                        shash s_route "drc";
+                        shash s_layout "layout";
+                      ]
+                  | _ -> assert false)
+                ~load:(fun db slots _ ->
+                  load_obj db Artifact.check_report slots "report")
+                ~store:(fun db rep ->
+                  ([ ("report", put db Artifact.check_report rep) ], []))
+                ~compute:(fun () -> Check.run (check_passes r0))
+            in
+            Some report
+        | _ -> None
+      in
+      let result =
+        match result0 with
+        | None -> None
+        | Some r0 ->
+            Some
+              {
+                r0 with
+                check_report = checked;
+                times = { r0.times with check_s = seconds Check };
+              }
+      in
+      Ok
+        {
+          outcomes = List.rev !outcomes;
+          db_warnings =
+            (match db with Some dbh -> Db.warnings dbh | None -> []);
+          synth = Some (aqfp0, synth_report);
+          placed = Option.map fst placed;
+          routed = Option.map fst routed;
+          built = Option.map fst built;
+          checked;
+          result;
+        }
+    with Stage_failed d -> Error d
+  end
+
+let run ?tech ?algorithm ?router ?seed ?jobs ?(check = false) ?db ?gds_path
+    ?def_path aoi =
+  match
+    run_staged ?tech ?algorithm ?router ?seed ?jobs ?db
+      ~to_stage:(if check then Check else Layout)
+      ?gds_path ?def_path aoi
+  with
+  | Ok { result = Some r; _ } -> r
+  | Ok _ -> assert false (* to_stage >= Layout always yields a result *)
+  | Error d -> failwith (Diag.to_string d)
+
+let run_verilog ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
+    ?def_path source =
   match Verilog.parse source with
   | Error e -> Error e
   | Ok aoi ->
-      Ok (run ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path aoi)
+      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
+            ?def_path aoi)
 
-let run_bench_file ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path
-    path =
+let run_bench_file ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
+    ?def_path path =
   match Bench_parser.parse_file path with
   | Error e -> Error e
   | Ok aoi ->
-      Ok (run ?tech ?algorithm ?router ?jobs ?check ?gds_path ?def_path aoi)
+      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
+            ?def_path aoi)
 
 let pp_summary ppf r =
   let s = Layout.stats r.layout in

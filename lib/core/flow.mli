@@ -44,6 +44,87 @@ val check_passes : result -> Check.pass list
     [drc], [lvs], in that order. Exposed so callers can re-run or
     extend the gate. *)
 
+(** {1 The stage graph}
+
+    The flow is an explicit five-stage graph — [synth → place →
+    route → layout → check] — and each stage is independently
+    cacheable in a {!Db.t} design database. A stage's cache key is
+    the hash of its input-artifact hashes plus every parameter that
+    affects its result:
+
+    - [synth]: the AOI netlist, and whether equivalence guards run
+      (i.e. whether the flow ends at the [check] stage);
+    - [place]: the AQFP netlist from [synth], the technology record,
+      the placement algorithm and the seed — covers placement,
+      buffer-line insertion, the settling pass and channel pre-sizing;
+    - [route]: the placed problem and the routing algorithm — covers
+      the DRC fix loop, so its outputs are the final routing, the
+      problem with its final row gaps, the residual violations and
+      the fix-round count;
+    - [layout]: the routed problem, the routing and the AQFP netlist
+      — covers layout assembly, sign-off STA and the energy report;
+    - [check]: every artifact the verification gate reads.
+
+    [--jobs] is deliberately absent from every key: stage results
+    are bit-identical at any pool size (see {!Parallel}). *)
+
+type stage = Synth | Place | Route | Layout | Check
+
+val stages : stage list
+(** In dependency order. *)
+
+val stage_name : stage -> string
+val stage_of_string : string -> (stage, string) Stdlib.result
+val stage_rank : stage -> int
+
+type outcome =
+  | Cached of float  (** loaded from the database, in [s] seconds *)
+  | Computed of float  (** executed, in [s] seconds *)
+
+type staged = {
+  outcomes : (stage * outcome) list;  (** stages run, in order *)
+  db_warnings : Diag.t list;
+      (** corrupt cache entries healed by recomputation *)
+  synth : (Netlist.t * Synth_flow.report) option;
+  placed : (Netlist.t * Problem.t * Placer.result * int) option;
+      (** buffered AQFP netlist, placed problem, placement report,
+          buffer lines *)
+  routed : (Router.result * Problem.t * Drc.violation list * int) option;
+      (** routing, problem with final row gaps, residual violations,
+          fix rounds *)
+  built : (Layout.t * Sta.report * Energy.report) option;
+  checked : Check.report option;
+  result : result option;  (** assembled when [to_stage >= Layout] *)
+}
+
+val run_staged :
+  ?tech:Tech.t ->
+  ?algorithm:Placer.algorithm ->
+  ?router:Router.algorithm ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?db:Db.t ->
+  ?from_stage:stage ->
+  ?to_stage:stage ->
+  ?gds_path:string ->
+  ?def_path:string ->
+  Netlist.t ->
+  (staged, Diag.t) Stdlib.result
+(** Run a slice of the stage graph, caching through [db] when given.
+
+    Each stage first looks itself up in the database (key as above):
+    on a hit its artifacts are loaded instead of recomputed and its
+    outcome is [Cached]; on a miss it executes and persists its
+    outputs. Without [db], every stage is [Computed].
+
+    [from_stage] (default [Synth]) asserts that every earlier stage
+    is already in the database — a miss there fails with [DB-FROM-01]
+    rather than silently recomputing; [to_stage] (default [Layout])
+    stops the graph early. [to_stage = Check] switches the synthesis
+    equivalence guards on, exactly like [run ~check:true]. Errors:
+    [DB-RANGE-01] when [from_stage] is after [to_stage] or [from_stage]
+    is given without [db]. *)
+
 val run :
   ?tech:Tech.t ->
   ?algorithm:Placer.algorithm ->
@@ -51,6 +132,7 @@ val run :
   ?seed:int ->
   ?jobs:int ->
   ?check:bool ->
+  ?db:Db.t ->
   ?gds_path:string ->
   ?def_path:string ->
   Netlist.t ->
@@ -61,19 +143,21 @@ val run :
     (routing, placement gradients, STA, DRC, checker) — results are
     bit-identical at every value, see {!Parallel}; [check] (default
     false) runs the {!Check} static-verification gate over every
-    stage handoff and stores its report; [gds_path] writes the final
-    GDSII stream; [def_path] the DEF-style placement/routing dump. *)
+    stage handoff and stores its report; [db] attaches a design
+    database so stages are cached ({!run_staged}); [gds_path] writes
+    the final GDSII stream; [def_path] the DEF-style
+    placement/routing dump. *)
 
 val run_verilog :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?jobs:int -> ?check:bool -> ?gds_path:string -> ?def_path:string -> string ->
-  (result, string) Stdlib.result
+  ?seed:int -> ?jobs:int -> ?check:bool -> ?db:Db.t -> ?gds_path:string ->
+  ?def_path:string -> string -> (result, string) Stdlib.result
 (** Full flow from Verilog source text. *)
 
 val run_bench_file :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?jobs:int -> ?check:bool -> ?gds_path:string -> ?def_path:string -> string ->
-  (result, string) Stdlib.result
+  ?seed:int -> ?jobs:int -> ?check:bool -> ?db:Db.t -> ?gds_path:string ->
+  ?def_path:string -> string -> (result, string) Stdlib.result
 (** Full flow from an ISCAS [.bench] file path. *)
 
 val version : string

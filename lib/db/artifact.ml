@@ -1,0 +1,572 @@
+(* Stage-handoff codecs. Each [body]/[read] pair below is the payload
+   format of one artifact kind; the frame (magic, kind, version,
+   length, checksum) comes from Codec. Bump a codec's version whenever
+   its payload layout changes — stale artifacts then fail loudly with
+   DB-VERSION-01 instead of decoding garbage. *)
+
+open Codec
+
+type 'a codec = {
+  kind : string;
+  version : int;
+  encode : 'a -> string;
+  decode : string -> ('a, Diag.t) result;
+}
+
+let make ~kind ~version body read =
+  {
+    kind;
+    version;
+    encode = (fun v -> Codec.encode ~kind ~version (fun b -> body b v));
+    decode = (fun bytes -> Codec.decode ~kind ~version read bytes);
+  }
+
+let save c path v = save_file path (c.encode v)
+
+let load c path =
+  match load_file path with Error _ as e -> e | Ok bytes -> c.decode bytes
+
+(* ---- netlist ---- *)
+
+let w_kind b = function
+  | Netlist.Input -> w_u8 b 0
+  | Netlist.Output -> w_u8 b 1
+  | Netlist.Const false -> w_u8 b 2
+  | Netlist.Const true -> w_u8 b 3
+  | Netlist.Buf -> w_u8 b 4
+  | Netlist.Not -> w_u8 b 5
+  | Netlist.And -> w_u8 b 6
+  | Netlist.Or -> w_u8 b 7
+  | Netlist.Nand -> w_u8 b 8
+  | Netlist.Nor -> w_u8 b 9
+  | Netlist.Xor -> w_u8 b 10
+  | Netlist.Xnor -> w_u8 b 11
+  | Netlist.Maj -> w_u8 b 12
+  | Netlist.Splitter k ->
+      w_u8 b 13;
+      w_int b k
+
+let r_kind r =
+  match r_u8 r with
+  | 0 -> Netlist.Input
+  | 1 -> Netlist.Output
+  | 2 -> Netlist.Const false
+  | 3 -> Netlist.Const true
+  | 4 -> Netlist.Buf
+  | 5 -> Netlist.Not
+  | 6 -> Netlist.And
+  | 7 -> Netlist.Or
+  | 8 -> Netlist.Nand
+  | 9 -> Netlist.Nor
+  | 10 -> Netlist.Xor
+  | 11 -> Netlist.Xnor
+  | 12 -> Netlist.Maj
+  | 13 -> Netlist.Splitter (r_int r)
+  | t -> raise (Corrupt (Printf.sprintf "unknown gate-kind tag %d" t))
+
+let netlist_body b nl =
+  w_int b (Netlist.size nl);
+  Netlist.iter nl (fun nd ->
+      w_kind b nd.Netlist.kind;
+      w_array (fun b f -> w_int b f) b nd.Netlist.fanins;
+      w_opt w_string b nd.Netlist.name;
+      w_int b nd.Netlist.phase)
+
+let netlist_read r =
+  let n = r_int r in
+  if n < 0 then raise (Corrupt "negative node count");
+  let nl = Netlist.create () in
+  let fixups = ref [] in
+  for id = 0 to n - 1 do
+    let kind = r_kind r in
+    let fanins = r_array (fun r -> r_int r) r in
+    Array.iter
+      (fun f ->
+        if f < 0 || f >= n then
+          raise (Corrupt (Printf.sprintf "node %d: fanin %d out of range" id f)))
+      fanins;
+    let name = r_opt r_string r in
+    let phase = r_int r in
+    (* fan-ins may point forward (insertion rewires edges), so add a
+       placeholder first and wire the real fan-ins afterwards — the
+       same two-pass scheme as [Netlist.copy] *)
+    let placeholder = Array.map (fun f -> if f < id then f else 0) fanins in
+    let id' = Netlist.add nl ?name kind placeholder in
+    if id' <> id then raise (Corrupt "node id drift during rebuild");
+    Netlist.set_phase nl id phase;
+    fixups := (id, fanins) :: !fixups
+  done;
+  List.iter (fun (id, fanins) -> Netlist.set_fanins nl id fanins) !fixups;
+  nl
+
+let netlist = make ~kind:"netlist" ~version:1 netlist_body netlist_read
+
+(* ---- technology ---- *)
+
+let tech_body b t =
+  w_f64 b t.Tech.grid;
+  w_f64 b t.Tech.s_min;
+  w_f64 b t.Tech.w_max;
+  w_f64 b t.Tech.row_gap;
+  w_f64 b t.Tech.clock_freq_ghz;
+  w_int b t.Tech.phases;
+  w_f64 b t.Tech.signal_velocity;
+  w_f64 b t.Tech.clock_velocity;
+  w_f64 b t.Tech.gate_delay_ps;
+  w_int b t.Tech.metal_layers
+
+let tech_read r =
+  let grid = r_f64 r in
+  let s_min = r_f64 r in
+  let w_max = r_f64 r in
+  let row_gap = r_f64 r in
+  let clock_freq_ghz = r_f64 r in
+  let phases = r_int r in
+  let signal_velocity = r_f64 r in
+  let clock_velocity = r_f64 r in
+  let gate_delay_ps = r_f64 r in
+  let metal_layers = r_int r in
+  {
+    Tech.grid;
+    s_min;
+    w_max;
+    row_gap;
+    clock_freq_ghz;
+    phases;
+    signal_velocity;
+    clock_velocity;
+    gate_delay_ps;
+    metal_layers;
+  }
+
+let tech = make ~kind:"tech" ~version:1 tech_body tech_read
+
+(* ---- library cells (embedded in problem/layout payloads) ---- *)
+
+let cell_body b c =
+  w_string b c.Cell.cell_name;
+  w_f64 b c.Cell.width;
+  w_f64 b c.Cell.height;
+  w_int b c.Cell.jj_count;
+  w_array w_f64 b c.Cell.in_pins;
+  w_array w_f64 b c.Cell.out_pins
+
+let cell_read r =
+  let cell_name = r_string r in
+  let width = r_f64 r in
+  let height = r_f64 r in
+  let jj_count = r_int r in
+  let in_pins = r_array r_f64 r in
+  let out_pins = r_array r_f64 r in
+  { Cell.cell_name; width; height; jj_count; in_pins; out_pins }
+
+(* ---- placement problem ---- *)
+
+let problem_body b p =
+  tech_body b p.Problem.tech;
+  w_array
+    (fun b (c : Problem.cell) ->
+      w_int b c.Problem.node;
+      w_kind b c.Problem.kind;
+      cell_body b c.Problem.lib;
+      w_int b c.Problem.row;
+      w_f64 b c.Problem.x)
+    b p.Problem.cells;
+  w_array
+    (fun b (n : Problem.net) ->
+      w_int b n.Problem.src;
+      w_int b n.Problem.dst;
+      w_int b n.Problem.src_pin;
+      w_int b n.Problem.dst_pin)
+    b p.Problem.nets;
+  w_int b p.Problem.n_rows;
+  w_array (w_array (fun b i -> w_int b i)) b p.Problem.row_cells;
+  w_array w_f64 b p.Problem.row_gaps;
+  w_f64 b p.Problem.row_height
+
+let problem_read r =
+  let tech = tech_read r in
+  let cells =
+    r_array
+      (fun r ->
+        let node = r_int r in
+        let kind = r_kind r in
+        let lib = cell_read r in
+        let row = r_int r in
+        let x = r_f64 r in
+        { Problem.node; kind; lib; row; x })
+      r
+  in
+  let nets =
+    r_array
+      (fun r ->
+        let src = r_int r in
+        let dst = r_int r in
+        let src_pin = r_int r in
+        let dst_pin = r_int r in
+        { Problem.src; dst; src_pin; dst_pin })
+      r
+  in
+  let n_rows = r_int r in
+  let row_cells = r_array (r_array (fun r -> r_int r)) r in
+  let row_gaps = r_array r_f64 r in
+  let row_height = r_f64 r in
+  { Problem.tech; cells; nets; n_rows; row_cells; row_gaps; row_height }
+
+let problem = make ~kind:"problem" ~version:1 problem_body problem_read
+
+(* ---- placement report ---- *)
+
+let algorithm_tag = function
+  | Placer.Superflow -> 0
+  | Placer.Gordian -> 1
+  | Placer.Taas -> 2
+
+let algorithm_of_tag = function
+  | 0 -> Placer.Superflow
+  | 1 -> Placer.Gordian
+  | 2 -> Placer.Taas
+  | t -> raise (Corrupt (Printf.sprintf "unknown placer tag %d" t))
+
+let placement =
+  make ~kind:"placement" ~version:1
+    (fun b (p : Placer.result) ->
+      w_u8 b (algorithm_tag p.Placer.algorithm);
+      w_f64 b p.Placer.hpwl;
+      w_int b p.Placer.buffer_lines;
+      w_f64 b p.Placer.timing_cost;
+      w_f64 b p.Placer.runtime_s;
+      w_int b p.Placer.moves)
+    (fun r ->
+      let algorithm = algorithm_of_tag (r_u8 r) in
+      let hpwl = r_f64 r in
+      let buffer_lines = r_int r in
+      let timing_cost = r_f64 r in
+      let runtime_s = r_f64 r in
+      let moves = r_int r in
+      { Placer.algorithm; hpwl; buffer_lines; timing_cost; runtime_s; moves })
+
+(* ---- routing ---- *)
+
+let routing =
+  make ~kind:"routing" ~version:1
+    (fun b (res : Router.result) ->
+      w_array
+        (fun b (rt : Router.route) ->
+          w_int b rt.Router.net;
+          w_list (w_pair w_f64 w_f64) b rt.Router.points;
+          w_int b rt.Router.vias;
+          w_f64 b rt.Router.length)
+        b res.Router.routes;
+      w_int b res.Router.expansions;
+      w_f64 b res.Router.wirelength;
+      w_int b res.Router.total_vias;
+      w_f64 b res.Router.runtime_s)
+    (fun r ->
+      let routes =
+        r_array
+          (fun r ->
+            let net = r_int r in
+            let points = r_list (r_pair r_f64 r_f64) r in
+            let vias = r_int r in
+            let length = r_f64 r in
+            { Router.net; points; vias; length })
+          r
+      in
+      let expansions = r_int r in
+      let wirelength = r_f64 r in
+      let total_vias = r_int r in
+      let runtime_s = r_f64 r in
+      { Router.routes; expansions; wirelength; total_vias; runtime_s })
+
+(* ---- layout ---- *)
+
+let w_point b (p : Geom.point) =
+  w_f64 b p.Geom.x;
+  w_f64 b p.Geom.y
+
+let r_point r =
+  let x = r_f64 r in
+  let y = r_f64 r in
+  { Geom.x; y }
+
+let w_wire b (w : Layout.wire) =
+  w_int b w.Layout.net;
+  w_int b w.Layout.layer;
+  w_point b w.Layout.a;
+  w_point b w.Layout.b
+
+let r_wire r =
+  let net = r_int r in
+  let layer = r_int r in
+  let a = r_point r in
+  let b = r_point r in
+  { Layout.net; layer; a; b }
+
+let layout =
+  make ~kind:"layout" ~version:1
+    (fun b (l : Layout.t) ->
+      tech_body b l.Layout.tech;
+      w_array
+        (fun b (c : Layout.placed_cell) ->
+          cell_body b c.Layout.lib;
+          w_int b c.Layout.node;
+          w_opt w_string b c.Layout.name;
+          w_point b c.Layout.origin)
+        b l.Layout.cells;
+      w_array w_wire b l.Layout.wires;
+      w_array
+        (fun b (v : Layout.via) ->
+          w_int b v.Layout.net;
+          w_point b v.Layout.at)
+        b l.Layout.vias;
+      w_array w_wire b l.Layout.bias;
+      w_f64 b l.Layout.die.Geom.lx;
+      w_f64 b l.Layout.die.Geom.ly;
+      w_f64 b l.Layout.die.Geom.hx;
+      w_f64 b l.Layout.die.Geom.hy)
+    (fun r ->
+      let tech = tech_read r in
+      let cells =
+        r_array
+          (fun r ->
+            let lib = cell_read r in
+            let node = r_int r in
+            let name = r_opt r_string r in
+            let origin = r_point r in
+            { Layout.lib; node; name; origin })
+          r
+      in
+      let wires = r_array r_wire r in
+      let vias =
+        r_array
+          (fun r ->
+            let net = r_int r in
+            let at = r_point r in
+            { Layout.net; at })
+          r
+      in
+      let bias = r_array r_wire r in
+      let lx = r_f64 r in
+      let ly = r_f64 r in
+      let hx = r_f64 r in
+      let hy = r_f64 r in
+      {
+        Layout.tech;
+        cells;
+        wires;
+        vias;
+        bias;
+        die = { Geom.lx; ly; hx; hy };
+      })
+
+(* ---- timing ---- *)
+
+let sta =
+  make ~kind:"sta" ~version:1
+    (fun b (s : Sta.report) ->
+      w_f64 b s.Sta.wns_ps;
+      w_f64 b s.Sta.tns_ps;
+      w_int b s.Sta.violations;
+      w_list
+        (fun b (nt : Sta.net_timing) ->
+          w_int b nt.Sta.net;
+          w_f64 b nt.Sta.slack_ps;
+          w_f64 b nt.Sta.flight_ps;
+          w_f64 b nt.Sta.skew_ps)
+        b s.Sta.worst)
+    (fun r ->
+      let wns_ps = r_f64 r in
+      let tns_ps = r_f64 r in
+      let violations = r_int r in
+      let worst =
+        r_list
+          (fun r ->
+            let net = r_int r in
+            let slack_ps = r_f64 r in
+            let flight_ps = r_f64 r in
+            let skew_ps = r_f64 r in
+            { Sta.net; slack_ps; flight_ps; skew_ps })
+          r
+      in
+      { Sta.wns_ps; tns_ps; violations; worst })
+
+(* ---- energy ---- *)
+
+let energy =
+  make ~kind:"energy" ~version:1
+    (fun b (e : Energy.report) ->
+      w_int b e.Energy.jj_count;
+      w_int b e.Energy.gate_count;
+      w_f64 b e.Energy.energy_per_cycle_j;
+      w_f64 b e.Energy.power_w;
+      w_f64 b e.Energy.cmos_energy_per_cycle_j;
+      w_f64 b e.Energy.efficiency_gain)
+    (fun r ->
+      let jj_count = r_int r in
+      let gate_count = r_int r in
+      let energy_per_cycle_j = r_f64 r in
+      let power_w = r_f64 r in
+      let cmos_energy_per_cycle_j = r_f64 r in
+      let efficiency_gain = r_f64 r in
+      {
+        Energy.jj_count;
+        gate_count;
+        energy_per_cycle_j;
+        power_w;
+        cmos_energy_per_cycle_j;
+        efficiency_gain;
+      })
+
+(* ---- diagnostics (embedded in reports) ---- *)
+
+let w_severity b = function
+  | Diag.Error -> w_u8 b 0
+  | Diag.Warning -> w_u8 b 1
+  | Diag.Info -> w_u8 b 2
+
+let r_severity r =
+  match r_u8 r with
+  | 0 -> Diag.Error
+  | 1 -> Diag.Warning
+  | 2 -> Diag.Info
+  | t -> raise (Corrupt (Printf.sprintf "unknown severity tag %d" t))
+
+let w_loc b = function
+  | Diag.Node i ->
+      w_u8 b 0;
+      w_int b i
+  | Diag.Net i ->
+      w_u8 b 1;
+      w_int b i
+  | Diag.Row i ->
+      w_u8 b 2;
+      w_int b i
+  | Diag.At (x, y) ->
+      w_u8 b 3;
+      w_f64 b x;
+      w_f64 b y
+  | Diag.Global -> w_u8 b 4
+
+let r_loc r =
+  match r_u8 r with
+  | 0 -> Diag.Node (r_int r)
+  | 1 -> Diag.Net (r_int r)
+  | 2 -> Diag.Row (r_int r)
+  | 3 ->
+      let x = r_f64 r in
+      let y = r_f64 r in
+      Diag.At (x, y)
+  | 4 -> Diag.Global
+  | t -> raise (Corrupt (Printf.sprintf "unknown location tag %d" t))
+
+let w_diag b (d : Diag.t) =
+  w_string b d.Diag.rule;
+  w_severity b d.Diag.severity;
+  w_loc b d.Diag.loc;
+  w_string b d.Diag.message
+
+let r_diag r =
+  let rule = r_string r in
+  let severity = r_severity r in
+  let loc = r_loc r in
+  let message = r_string r in
+  { Diag.rule; severity; loc; message }
+
+(* ---- synthesis report ---- *)
+
+let synth_report =
+  make ~kind:"synth-report" ~version:1
+    (fun b (s : Synth_flow.report) ->
+      w_int b s.Synth_flow.jjs;
+      w_int b s.Synth_flow.nets;
+      w_int b s.Synth_flow.delay;
+      w_int b s.Synth_flow.opt_stats.Opt.nodes_before;
+      w_int b s.Synth_flow.opt_stats.Opt.nodes_after;
+      w_int b s.Synth_flow.opt_stats.Opt.iterations;
+      w_int b s.Synth_flow.maj_stats.Aoi_to_maj.aoi_gates;
+      w_int b s.Synth_flow.maj_stats.Aoi_to_maj.maj_gates;
+      w_int b s.Synth_flow.maj_stats.Aoi_to_maj.jj_before;
+      w_int b s.Synth_flow.maj_stats.Aoi_to_maj.jj_after;
+      w_int b s.Synth_flow.ins_stats.Insertion.splitters;
+      w_int b s.Synth_flow.ins_stats.Insertion.buffers;
+      w_int b s.Synth_flow.ins_stats.Insertion.delay;
+      w_int b s.Synth_flow.ins_stats.Insertion.jj;
+      w_int b s.Synth_flow.ins_stats.Insertion.nets;
+      w_list w_diag b s.Synth_flow.guard_diags)
+    (fun r ->
+      let jjs = r_int r in
+      let nets = r_int r in
+      let delay = r_int r in
+      let nodes_before = r_int r in
+      let nodes_after = r_int r in
+      let iterations = r_int r in
+      let opt_stats = { Opt.nodes_before; nodes_after; iterations } in
+      let aoi_gates = r_int r in
+      let maj_gates = r_int r in
+      let jj_before = r_int r in
+      let jj_after = r_int r in
+      let maj_stats = { Aoi_to_maj.aoi_gates; maj_gates; jj_before; jj_after } in
+      let splitters = r_int r in
+      let buffers = r_int r in
+      let delay' = r_int r in
+      let jj = r_int r in
+      let nets' = r_int r in
+      let ins_stats =
+        { Insertion.splitters; buffers; delay = delay'; jj; nets = nets' }
+      in
+      let guard_diags = r_list r_diag r in
+      {
+        Synth_flow.jjs;
+        nets;
+        delay;
+        opt_stats;
+        maj_stats;
+        ins_stats;
+        guard_diags;
+      })
+
+(* ---- checker report ---- *)
+
+let check_report =
+  make ~kind:"check-report" ~version:1
+    (fun b (rep : Check.report) ->
+      w_list w_diag b rep.Check.diags;
+      w_list
+        (fun b (s : Check.pass_stat) ->
+          w_string b s.Check.pass_name;
+          w_int b s.Check.n_diags;
+          w_f64 b s.Check.seconds)
+        b rep.Check.stats)
+    (fun r ->
+      let diags = r_list r_diag r in
+      let stats =
+        r_list
+          (fun r ->
+            let pass_name = r_string r in
+            let n_diags = r_int r in
+            let seconds = r_f64 r in
+            { Check.pass_name; n_diags; seconds })
+          r
+      in
+      { Check.diags; stats })
+
+(* ---- DRC violations ---- *)
+
+let drc =
+  make ~kind:"drc" ~version:1
+    (fun b vs ->
+      w_list
+        (fun b (v : Drc.violation) ->
+          w_string b v.Drc.rule;
+          w_point b v.Drc.at;
+          w_string b v.Drc.detail)
+        b vs)
+    (fun r ->
+      r_list
+        (fun r ->
+          let rule = r_string r in
+          let at = r_point r in
+          let detail = r_string r in
+          { Drc.rule; at; detail })
+        r)

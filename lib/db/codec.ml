@@ -1,0 +1,211 @@
+(* Binary primitives + the sealed artifact frame. Everything is
+   fixed-width little-endian so encoding is deterministic and
+   re-encoding a decoded value reproduces the input bytes exactly. *)
+
+let err ~rule fmt = Diag.error ~rule Diag.Global fmt
+
+(* ---- writing ---- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+let w_bool b v = Buffer.add_uint8 b (if v then 1 else 0)
+
+let w_u8 b v =
+  if v < 0 || v > 255 then invalid_arg "Codec.w_u8";
+  Buffer.add_uint8 b v
+
+let w_int b v = Buffer.add_int64_le b (Int64.of_int v)
+let w_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_opt f b = function
+  | None -> w_bool b false
+  | Some v ->
+      w_bool b true;
+      f b v
+
+let w_array f b a =
+  w_int b (Array.length a);
+  Array.iter (f b) a
+
+let w_list f b l =
+  w_int b (List.length l);
+  List.iter (f b) l
+
+let w_pair fa fb b (x, y) =
+  fa b x;
+  fb b y
+
+let contents = Buffer.contents
+
+(* ---- reading ---- *)
+
+type reader = { buf : string; mutable pos : int; limit : int }
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let need r n =
+  if n < 0 || r.pos + n > r.limit then
+    corrupt "payload truncated at byte %d (need %d of %d)" r.pos n r.limit
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt "bad bool byte %d" v
+
+let r_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_f64 r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_string r =
+  let n = r_int r in
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_opt f r = if r_bool r then Some (f r) else None
+
+(* every element is at least one byte, so a length beyond the
+   remaining payload can only come from corruption — checking here
+   keeps a flipped length byte from attempting a giant allocation *)
+let r_len r =
+  let n = r_int r in
+  if n < 0 || n > r.limit - r.pos then corrupt "bad collection length %d" n;
+  n
+
+let r_array f r =
+  let n = r_len r in
+  Array.init n (fun _ -> f r)
+
+let r_list f r =
+  let n = r_len r in
+  List.init n (fun _ -> f r)
+
+let r_pair fa fb r =
+  let x = fa r in
+  let y = fb r in
+  (x, y)
+
+(* ---- container frames ---- *)
+
+let magic = "SFDB"
+
+let seal ~kind ~version payload =
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Buffer.add_uint16_le b (String.length kind);
+  Buffer.add_string b kind;
+  Buffer.add_uint16_le b version;
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_string b (Digest.string payload);
+  Buffer.contents b
+
+let split bytes =
+  let total = String.length bytes in
+  if total < 4 || String.sub bytes 0 4 <> magic then
+    Error (err ~rule:"DB-MAGIC-01" "not an sf_db artifact (bad magic)")
+  else if total < 6 then
+    Error (err ~rule:"DB-TRUNC-01" "artifact truncated inside the header")
+  else
+    let klen = String.get_uint16_le bytes 4 in
+    let header = 4 + 2 + klen + 2 + 8 in
+    if total < header then
+      Error (err ~rule:"DB-TRUNC-01" "artifact truncated inside the header")
+    else
+      let kind = String.sub bytes 6 klen in
+      let version = String.get_uint16_le bytes (6 + klen) in
+      let plen = Int64.to_int (String.get_int64_le bytes (8 + klen)) in
+      if plen < 0 || total <> header + plen + 16 then
+        Error
+          (err ~rule:"DB-TRUNC-01"
+             "%S artifact truncated: %d payload byte(s) expected, %d present"
+             kind plen
+             (max 0 (total - header - 16)))
+      else
+        let payload = String.sub bytes header plen in
+        let checksum = String.sub bytes (header + plen) 16 in
+        if Digest.string payload <> checksum then
+          Error
+            (err ~rule:"DB-CKSUM-01" "%S artifact failed its checksum" kind)
+        else Ok (kind, version, payload)
+
+let encode ~kind ~version f =
+  let b = writer () in
+  f b;
+  seal ~kind ~version (contents b)
+
+let decode ~kind ~version f bytes =
+  match split bytes with
+  | Error _ as e -> e
+  | Ok (k, v, payload) ->
+      if k <> kind then
+        Error
+          (err ~rule:"DB-KIND-01" "expected a %S artifact, found %S" kind k)
+      else if v <> version then
+        Error
+          (err ~rule:"DB-VERSION-01"
+             "%S artifact has format version %d, this build reads %d" kind v
+             version)
+      else begin
+        let r = { buf = payload; pos = 0; limit = String.length payload } in
+        match f r with
+        | value ->
+            if r.pos <> r.limit then
+              Error
+                (err ~rule:"DB-PARSE-01"
+                   "%S artifact has %d trailing byte(s)" kind (r.limit - r.pos))
+            else Ok value
+        | exception Corrupt msg ->
+            Error (err ~rule:"DB-PARSE-01" "%S artifact: %s" kind msg)
+        | exception exn ->
+            Error
+              (err ~rule:"DB-PARSE-01" "%S artifact: %s" kind
+                 (Printexc.to_string exn))
+      end
+
+(* ---- files ---- *)
+
+let save_file path bytes =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir "." (Filename.basename path ^ ".tmp")
+  in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  Sys.rename tmp path
+
+let load_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (err ~rule:"DB-IO-01" "%s" msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | bytes -> Ok bytes
+          | exception End_of_file ->
+              Error (err ~rule:"DB-IO-01" "%s: unreadable" path))

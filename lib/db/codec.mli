@@ -1,0 +1,92 @@
+(** Deterministic binary codec primitives and the sf_db artifact
+    container.
+
+    Every persisted artifact is one {e sealed} frame:
+
+    {v
+    "SFDB"            magic, 4 bytes
+    u16le             kind length, then the kind bytes (e.g. "netlist")
+    u16le             format version of that kind
+    i64le             payload length in bytes
+    payload           kind-specific body (the combinators below)
+    16 bytes          MD5 of the payload
+    v}
+
+    Integers are fixed-width little-endian (OCaml ints as i64), floats
+    are their IEEE-754 bit patterns — encoding is a pure function of
+    the value, so [encode (decode (encode x)) = encode x] exactly.
+
+    Loading never lets an exception escape: a corrupt, truncated,
+    mis-typed or version-skewed frame comes back as a structured
+    {!Diag.t} error with a stable [DB-*] rule id ([DB-MAGIC-01],
+    [DB-KIND-01], [DB-VERSION-01], [DB-TRUNC-01], [DB-CKSUM-01],
+    [DB-PARSE-01], [DB-IO-01]). *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val w_bool : writer -> bool -> unit
+val w_u8 : writer -> int -> unit
+val w_int : writer -> int -> unit
+val w_f64 : writer -> float -> unit
+val w_string : writer -> string -> unit
+val w_opt : (writer -> 'a -> unit) -> writer -> 'a option -> unit
+val w_array : (writer -> 'a -> unit) -> writer -> 'a array -> unit
+val w_list : (writer -> 'a -> unit) -> writer -> 'a list -> unit
+val w_pair :
+  (writer -> 'a -> unit) -> (writer -> 'b -> unit) -> writer -> 'a * 'b -> unit
+val contents : writer -> string
+
+(** {1 Reading} *)
+
+type reader
+
+exception Corrupt of string
+(** Raised by the [r_*] primitives on malformed payload bytes; callers
+    outside this module never see it — {!decode} converts it into a
+    [DB-PARSE-01] diagnostic. *)
+
+val r_bool : reader -> bool
+val r_u8 : reader -> int
+val r_int : reader -> int
+val r_f64 : reader -> float
+val r_string : reader -> string
+val r_opt : (reader -> 'a) -> reader -> 'a option
+val r_array : (reader -> 'a) -> reader -> 'a array
+val r_list : (reader -> 'a) -> reader -> 'a list
+val r_pair : (reader -> 'a) -> (reader -> 'b) -> reader -> 'a * 'b
+
+(** {1 Container frames} *)
+
+val seal : kind:string -> version:int -> string -> string
+(** Frame a payload: magic, kind, version, length, payload, checksum. *)
+
+val split : string -> (string * int * string, Diag.t) result
+(** Open any frame: [(kind, version, payload)] after validating magic,
+    completeness and checksum. *)
+
+val encode : kind:string -> version:int -> (writer -> unit) -> string
+(** Build a payload with a fresh writer and {!seal} it. *)
+
+val decode :
+  kind:string -> version:int -> (reader -> 'a) -> string -> ('a, Diag.t) result
+(** Open a frame, check its kind and version against the expectation,
+    then run the payload decoder. Trailing payload bytes, [Corrupt],
+    and any exception the decoder raises all come back as structured
+    errors. *)
+
+(** {1 Files} *)
+
+val save_file : string -> string -> unit
+(** Atomic write: the bytes land under a temporary name in the target
+    directory and are renamed into place, so a killed process never
+    leaves a half-written artifact. *)
+
+val load_file : string -> (string, Diag.t) result
+(** Read a whole file; missing/unreadable files are a [DB-IO-01]
+    error, not an exception. *)
+
+val err : rule:string -> ('a, unit, string, Diag.t) format4 -> 'a
+(** A [DB-*] error diagnostic (severity [Error], location [Global]). *)

@@ -90,17 +90,18 @@ let build stmts =
           Hashtbl.replace gates target (lineno, op, args);
           gate_order := target :: !gate_order)
     stmts;
-  let rec resolve ?(stack = []) name =
+  (* [lineno] is the line of the statement referencing [name], so
+     "undefined signal" and "cycle" errors point at the use site *)
+  let rec resolve ?(stack = []) ~lineno name =
     match Hashtbl.find_opt env name with
     | Some id -> id
     | None -> (
-        if List.mem name stack then
-          raise (Parse_error (Printf.sprintf "cycle through %s" name));
+        if List.mem name stack then fail lineno "cycle through %s" name;
         match Hashtbl.find_opt gates name with
-        | None -> raise (Parse_error (Printf.sprintf "undefined signal %s" name))
+        | None -> fail lineno "undefined signal %s" name
         | Some (lineno, op, args) ->
             let stack = name :: stack in
-            let arg_ids = List.map (resolve ~stack) args in
+            let arg_ids = List.map (resolve ~stack ~lineno) args in
             let check_arity n =
               if List.length arg_ids <> n then
                 fail lineno "%s expects %d args, got %d" op n (List.length arg_ids)
@@ -162,7 +163,12 @@ let build stmts =
             Hashtbl.replace env name id;
             id)
   in
-  List.iter (fun name -> ignore (resolve name)) (List.rev !gate_order);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt gates name with
+      | Some (lineno, _, _) -> ignore (resolve ~lineno name)
+      | None -> ())
+    (List.rev !gate_order);
   List.iter
     (fun (lineno, name) ->
       match Hashtbl.find_opt env name with

@@ -306,6 +306,22 @@ let test_def_file_roundtrip () =
   | Error e -> Alcotest.fail e);
   Sys.remove path
 
+let test_def_flow_file_roundtrip () =
+  (* a DEF dump produced by the real flow must parse back and re-render
+     byte-identically — guards the writer and parser against drifting
+     apart on flow-scale output *)
+  let path = Filename.temp_file "superflow_flow" ".def" in
+  ignore (Flow.run ~def_path:path (Circuits.benchmark "adder8"));
+  let ic = open_in_bin path in
+  let written = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Def.of_string written with
+  | Error e -> Alcotest.fail e
+  | Ok def ->
+      Alcotest.(check string) "re-render byte-identical" written
+        (Def.to_string def)
+
 let test_def_rejects_garbage () =
   (match Def.of_string "hello world" with
   | Ok _ -> Alcotest.fail "accepted garbage"
@@ -379,6 +395,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_def_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_def_file_roundtrip;
+          Alcotest.test_case "flow file roundtrip" `Quick
+            test_def_flow_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_def_rejects_garbage;
           Alcotest.test_case "matches design" `Quick test_def_matches_design;
           Alcotest.test_case "apply placement" `Quick test_def_apply_placement;

@@ -549,6 +549,20 @@ let test_bench_cycle_detected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "cycle accepted"
 
+let test_bench_error_line_numbers () =
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  (* the undefined reference is made on line 3 *)
+  (match Bench_parser.parse "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n" with
+  | Error e ->
+      checkb ("undefined signal located: " ^ e) true (starts_with "line 3:" e)
+  | Ok _ -> Alcotest.fail "accepted undefined signal");
+  (* the edge closing the cycle is on line 4 (z = NOT(y)) *)
+  match Bench_parser.parse "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n" with
+  | Error e -> checkb ("cycle located: " ^ e) true (starts_with "line 4:" e)
+  | Ok _ -> Alcotest.fail "cycle accepted"
+
 let test_bench_roundtrip () =
   let nl = sample_netlist () in
   let text = Bench_parser.to_bench nl in
@@ -627,6 +641,8 @@ let () =
           Alcotest.test_case "nary decomposition" `Quick test_bench_nary_decomposition;
           Alcotest.test_case "use before def" `Quick test_bench_use_before_def;
           Alcotest.test_case "errors" `Quick test_bench_errors;
+          Alcotest.test_case "error line numbers" `Quick
+            test_bench_error_line_numbers;
           Alcotest.test_case "cycle" `Quick test_bench_cycle_detected;
           Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
         ] );
