@@ -457,6 +457,97 @@ let cache_study () =
   Table.print t;
   print_newline ()
 
+(* ---- equivalence-engine study: BDD vs CDCL SAT on the synthesis
+   guards, plus the proof-cache warm path ----
+
+   Emits machine-readable BENCH_EQUIV lines (one JSON object per
+   line, next to BENCH_STAGE / BENCH_CACHE) so CI can track the
+   complete-proof engines: per-circuit wall time under each engine,
+   how many outputs each engine failed to prove (BDD blow-up
+   fallbacks / SAT budget timeouts), and the speedup of re-proving
+   against a warm sf_db proof cache. *)
+
+let count_rule rule diags =
+  List.length (List.filter (fun d -> d.Diag.rule = rule) diags)
+
+let equiv_json ~circuit ~bdd_s ~sat_s ~bdd_fallbacks ~sat_timeouts ~cold_s
+    ~warm_s =
+  Printf.printf
+    "BENCH_EQUIV {\"circuit\":\"%s\",\"bdd_s\":%.4f,\"sat_s\":%.4f,\"bdd_fallbacks\":%d,\"sat_timeouts\":%d,\"proof_cold_s\":%.4f,\"proof_warm_s\":%.4f,\"cache_speedup\":%.1f}\n"
+    circuit bdd_s sat_s bdd_fallbacks sat_timeouts cold_s warm_s
+    (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
+
+let equiv_study () =
+  print_endline
+    "Extension: equivalence-guard engines (BDD vs CDCL SAT) and the sf_db \
+     proof cache";
+  let circuits =
+    if quick then [ "adder8"; "decoder" ]
+    else [ "adder8"; "apc32"; "decoder"; "c432"; "c499"; "c1908" ]
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "circuit"; "bdd (s)"; "sat (s)"; "bdd fallback"; "sat timeout";
+          "proof cold (s)"; "proof warm (s)"; "cache speedup" ]
+  in
+  List.iter
+    (fun name ->
+      let aoi = Circuits.benchmark name in
+      let (_, rep_bdd), bdd_s =
+        Wallclock.time (fun () -> Synth_flow.run ~check:true ~engine:`Bdd aoi)
+      in
+      let (_, rep_sat), sat_s =
+        Wallclock.time (fun () -> Synth_flow.run ~check:true ~engine:`Sat aoi)
+      in
+      let bdd_fallbacks =
+        count_rule "EQ-FALLBACK-01" rep_bdd.Synth_flow.guard_diags
+      in
+      let sat_timeouts =
+        count_rule "EQ-TIMEOUT-01" rep_sat.Synth_flow.guard_diags
+      in
+      (* proof cache: cold stores every cone verdict, warm replays them *)
+      let dir = fresh_db_dir name in
+      let db =
+        match Db.open_ dir with
+        | Ok db -> db
+        | Error d -> failwith (Diag.to_string d)
+      in
+      let cache =
+        {
+          Equiv.find = (fun k -> Db.find_proof db ~key:k);
+          store = (fun k v -> Db.put_proof db ~key:k v);
+        }
+      in
+      let (_, rep_cold), cold_s =
+        Wallclock.time (fun () ->
+            Synth_flow.run ~check:true ~engine:`Sat ~cache aoi)
+      in
+      let (_, rep_warm), warm_s =
+        Wallclock.time (fun () ->
+            Synth_flow.run ~check:true ~engine:`Sat ~cache aoi)
+      in
+      (* the warm diagnostics must reproduce the cold ones exactly *)
+      assert (rep_warm.Synth_flow.guard_diags = rep_cold.Synth_flow.guard_diags);
+      rm_rf dir;
+      equiv_json ~circuit:name ~bdd_s ~sat_s ~bdd_fallbacks ~sat_timeouts
+        ~cold_s ~warm_s;
+      Table.add_row t
+        [
+          name;
+          Table.fmt_float ~dec:3 bdd_s;
+          Table.fmt_float ~dec:3 sat_s;
+          Table.fmt_int bdd_fallbacks;
+          Table.fmt_int sat_timeouts;
+          Table.fmt_float ~dec:3 cold_s;
+          Table.fmt_float ~dec:3 warm_s;
+          (if warm_s > 0.0 then Printf.sprintf "%.0fx" (cold_s /. warm_s)
+           else "n/a");
+        ])
+    circuits;
+  Table.print t;
+  print_newline ()
+
 let run_ablations () =
   timing_yield ();
   seed_stability ();
@@ -608,6 +699,7 @@ let () =
   scaling_study ();
   speedup_table ();
   cache_study ();
+  equiv_study ();
   (* EXPERIMENTS.md from the same (memoized) measurements *)
   if not quick then begin
     let md = Report.experiments_markdown table_circuits in

@@ -4,8 +4,9 @@
      superflow synth   <input>          — logic synthesis report
      superflow place   <input> [--placer ...]
      superflow route   <input>
-     superflow flow    <input> [-o out.gds] [--check]  — full RTL-to-GDS
-     superflow check   <input> [--json]     — static-verification gate
+     superflow flow    <input> [-o out.gds] [--check] [--engine ...]
+     superflow check   <input> [--json] [--engine ...]  — verification gate
+     superflow prove   <a> <b> [--engine ...]  — complete equivalence proof
      superflow tables                    — regenerate the paper tables
      superflow bench-list                — list built-in benchmarks
 
@@ -36,6 +37,11 @@ let placer_of_string = function
   | "gordian" -> Ok Placer.Gordian
   | "taas" -> Ok Placer.Taas
   | s -> Error (Printf.sprintf "unknown placer %S (superflow|gordian|taas)" s)
+
+let engine_of_string s =
+  match Equiv.engine_of_name s with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "unknown engine %S (auto|bdd|sat)" s)
 
 let exit_err msg =
   Format.eprintf "error: %s@." msg;
@@ -107,17 +113,22 @@ let stage_of_cli s =
   | Ok st -> st
   | Error e -> exit_err e
 
-let cmd_flow input placer_name router_name gds_out def_out svg_out tech_file
-    jobs check seed db_dir from_opt to_opt resume check_out =
+let cmd_flow input placer_name router_name engine_name gds_out def_out svg_out
+    tech_file jobs check seed db_dir from_opt to_opt resume check_out =
   match
     ( load_input input,
       placer_of_string placer_name,
       router_of_string router_name,
-      load_tech tech_file )
+      load_tech tech_file,
+      engine_of_string engine_name )
   with
-  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+  | Error e, _, _, _, _
+  | _, Error e, _, _, _
+  | _, _, Error e, _, _
+  | _, _, _, Error e, _
+  | _, _, _, _, Error e ->
       exit_err e
-  | Ok aoi, Ok algorithm, Ok router, Ok tech ->
+  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok equiv_engine ->
       if db_dir = None && (from_opt <> None || resume) then
         exit_err "--from and --resume need a design database (--db DIR)";
       if resume then (
@@ -150,7 +161,7 @@ let cmd_flow input placer_name router_name gds_out def_out svg_out tech_file
       let staged =
         match
           Flow.run_staged ~tech ~algorithm ~router ?seed ?jobs ?db ~from_stage
-            ~to_stage ?gds_path:gds_out ?def_path:def_out aoi
+            ~to_stage ~equiv_engine ?gds_path:gds_out ?def_path:def_out aoi
         with
         | Ok s -> s
         | Error d -> exit_err (Diag.to_string d)
@@ -227,17 +238,34 @@ let cmd_flow input placer_name router_name gds_out def_out svg_out tech_file
 
 (* ---- check ---- *)
 
-let cmd_check input placer_name router_name tech_file jobs json =
+let cmd_check input placer_name router_name engine_name tech_file jobs db_dir
+    json =
   match
     ( load_input input,
       placer_of_string placer_name,
       router_of_string router_name,
-      load_tech tech_file )
+      load_tech tech_file,
+      engine_of_string engine_name )
   with
-  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+  | Error e, _, _, _, _
+  | _, Error e, _, _, _
+  | _, _, Error e, _, _
+  | _, _, _, Error e, _
+  | _, _, _, _, Error e ->
       exit_err e
-  | Ok aoi, Ok algorithm, Ok router, Ok tech ->
-      let r = Flow.run ~tech ~algorithm ~router ?jobs ~check:true aoi in
+  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok equiv_engine ->
+      let db =
+        match db_dir with
+        | None -> None
+        | Some dir -> (
+            match Db.open_ dir with
+            | Ok db -> Some db
+            | Error d -> exit_err (Diag.to_string d))
+      in
+      let r =
+        Flow.run ~tech ~algorithm ~router ?jobs ~check:true ~equiv_engine ?db
+          aoi
+      in
       let rep =
         match r.Flow.check_report with
         | Some rep -> rep
@@ -321,6 +349,38 @@ let cmd_verify input_a input_b =
             (if List.length (Netlist.inputs nl_a) <= 14 then ", exhaustive"
              else ", sampled");
           if not same then exit 1)
+
+(* ---- prove ---- *)
+
+let cmd_prove input_a input_b engine_name budget json =
+  match (load_input input_a, load_input input_b, engine_of_string engine_name)
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
+  | Ok nl_a, Ok nl_b, Ok engine ->
+      let diags =
+        Equiv.check_pair ~engine ?conflict_budget:budget ~stage:"prove" nl_a
+          nl_b
+      in
+      List.iter
+        (fun d ->
+          if json then print_endline (Diag.to_json d)
+          else Format.printf "%a@." Diag.pp d)
+        diags;
+      let errors = Diag.count Diag.Error diags
+      and unproven = Diag.count Diag.Warning diags in
+      if errors > 0 then (
+        if not json then Format.printf "NOT EQUIVALENT@.";
+        exit 1)
+      else if unproven > 0 then (
+        if not json then
+          Format.printf
+            "UNPROVEN — %d output(s) fell back to simulation (raise the \
+             budget or try --engine sat)@."
+            unproven;
+        exit 2)
+      else if not json then
+        Format.printf "EQUIVALENT (formally proven per output, engine %s)@."
+          (Equiv.engine_name engine)
 
 (* ---- atpg ---- *)
 
@@ -475,11 +535,16 @@ let check_out_arg =
          ~doc:"Write the check stage's text report to $(docv) (needs --check \
                or --to check).")
 
+let engine_arg =
+  Arg.(value & opt string "auto" & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Equivalence-proof engine: auto (BDD first, SAT on blow-up), \
+               bdd, or sat. Part of the synth stage's cache key.")
+
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
-    Term.(const cmd_flow $ input_arg $ placer_arg $ router_arg $ gds_arg
-          $ def_arg $ svg_arg $ tech_arg $ jobs_arg $ check_flag_arg $ seed_arg
-          $ db_arg $ from_arg $ to_arg $ resume_arg $ check_out_arg)
+    Term.(const cmd_flow $ input_arg $ placer_arg $ router_arg $ engine_arg
+          $ gds_arg $ def_arg $ svg_arg $ tech_arg $ jobs_arg $ check_flag_arg
+          $ seed_arg $ db_arg $ from_arg $ to_arg $ resume_arg $ check_out_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ]
@@ -492,8 +557,8 @@ let check_cmd =
              netlist lints, AQFP legality, per-output formal equivalence, \
              placement audit, route connectivity, DRC and LVS-lite. Exits 1 \
              on any error-severity diagnostic.")
-    Term.(const cmd_check $ input_arg $ placer_arg $ router_arg $ tech_arg
-          $ jobs_arg $ json_arg)
+    Term.(const cmd_check $ input_arg $ placer_arg $ router_arg $ engine_arg
+          $ tech_arg $ jobs_arg $ db_arg $ json_arg)
 
 let timing_cmd =
   Cmd.v (Cmd.info "timing" ~doc:"Static timing analysis of a placed design")
@@ -517,6 +582,22 @@ let sim_cmd =
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Formally check two designs for equivalence")
     Term.(const cmd_verify $ input_arg $ input_b_arg)
+
+let budget_arg =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"SAT conflict budget per proved pair (default 200000). \
+               Exhausting it yields EQ-TIMEOUT-01 and exit code 2.")
+
+let prove_cmd =
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Prove two designs equivalent, output by output, with the \
+             complete decision engines (BDD and/or CDCL SAT with AIG \
+             sweeping). Exit 0: every output proven equal; 1: a proven \
+             difference (with a replayed counterexample); 2: unproven \
+             (engine budget exhausted).")
+    Term.(const cmd_prove $ input_arg $ input_b_arg $ engine_arg $ budget_arg
+          $ json_arg)
 
 let atpg_out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -547,6 +628,7 @@ let main =
     (Cmd.info "superflow" ~version:Flow.version
        ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
     [ synth_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; timing_cmd;
-      report_cmd; sim_cmd; verify_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
+      report_cmd; sim_cmd; verify_cmd; prove_cmd; atpg_cmd; tables_cmd;
+      bench_list_cmd ]
 
 let () = exit (Cmd.eval main)

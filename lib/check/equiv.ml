@@ -1,4 +1,4 @@
-(* Per-output equivalence guards. *)
+(* Per-output equivalence guards over pluggable engines. *)
 
 let cone nl oid =
   (match Netlist.kind nl oid with
@@ -39,24 +39,86 @@ let cone nl oid =
     !pending;
   out
 
+type engine = [ `Auto | `Bdd | `Sat ]
+
+let engine_name = function `Auto -> "auto" | `Bdd -> "bdd" | `Sat -> "sat"
+
+let engine_of_name = function
+  | "auto" -> Some `Auto
+  | "bdd" -> Some `Bdd
+  | "sat" -> Some `Sat
+  | _ -> None
+
+type fallback = Bdd_budget | Sat_budget of int
+
 type verdict =
   | Proven_equal
   | Proven_diff of bool array
-  | Sampled_equal
-  | Sampled_diff
+  | Sampled_equal of fallback
+  | Sampled_diff of fallback
+  | Cex_invalid of bool array
 
-let check_output ~max_nodes before after ob oa =
-  let ca = cone before ob and cb = cone after oa in
-  match Bdd.check_equivalence ~max_nodes ca cb with
-  | Bdd.Equivalent -> Proven_equal
-  | Bdd.Different cex -> Proven_diff cex
-  | Bdd.Too_large ->
-      if Sim.equivalent ca cb then Sampled_equal else Sampled_diff
+type cache = { find : string -> string option; store : string -> string -> unit }
+
+(* A counterexample is only reported after it actually distinguishes
+   the two cones under simulation; a non-replaying cex is a solver
+   bug, not a design difference. *)
+let replays ca cb cex = Sim.eval ca cex <> Sim.eval cb cex
+
+let sat_verdict ~conflict_budget ca cb =
+  match Cec.check ~conflict_budget ca cb with
+  | Cec.Equal -> Proven_equal
+  | Cec.Diff cex ->
+      if replays ca cb cex then Proven_diff cex else Cex_invalid cex
+  | Cec.Unknown budget ->
+      if Sim.equivalent ca cb then Sampled_equal (Sat_budget budget)
+      else Sampled_diff (Sat_budget budget)
+
+let check_cones ?(engine = `Auto) ?(max_nodes = 100_000)
+    ?(conflict_budget = Cec.default_budget) ca cb =
+  match engine with
+  | `Sat -> sat_verdict ~conflict_budget ca cb
+  | (`Bdd | `Auto) as e -> (
+      match Bdd.check_equivalence ~max_nodes ca cb with
+      | Bdd.Equivalent -> Proven_equal
+      | Bdd.Different cex -> Proven_diff cex
+      | Bdd.Too_large -> (
+          match e with
+          | `Auto -> sat_verdict ~conflict_budget ca cb
+          | `Bdd ->
+              if Sim.equivalent ca cb then Sampled_equal Bdd_budget
+              else Sampled_diff Bdd_budget))
 
 let bits v =
   String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list v))
 
-let check_pair ?(max_nodes = 100_000) ~stage before after =
+let bools_of_bits s =
+  Array.init (String.length s) (fun i -> s.[i] = '1')
+
+(* Proof-cache encoding. Only proven verdicts are stored; a cached
+   counterexample is replayed on the way back in, and anything
+   unparseable or stale is treated as a miss. *)
+let cache_key ca cb =
+  "eq1:" ^ Netlist.struct_hash ca ^ ":" ^ Netlist.struct_hash cb
+
+let encode_verdict = function
+  | Proven_equal -> Some "equal"
+  | Proven_diff cex -> Some ("diff:" ^ bits cex)
+  | Sampled_equal _ | Sampled_diff _ | Cex_invalid _ -> None
+
+let decode_verdict ca cb s =
+  if s = "equal" then Some Proven_equal
+  else if String.length s > 5 && String.sub s 0 5 = "diff:" then begin
+    let cex = bools_of_bits (String.sub s 5 (String.length s - 5)) in
+    if
+      Array.length cex = List.length (Netlist.inputs ca) && replays ca cb cex
+    then Some (Proven_diff cex)
+    else None
+  end
+  else None
+
+let check_pair ?(engine = `Auto) ?(max_nodes = 100_000)
+    ?(conflict_budget = Cec.default_budget) ?cache ~stage before after =
   let outs_b = Array.of_list (Netlist.outputs before) in
   let outs_a = Array.of_list (Netlist.outputs after) in
   let ins_b = List.length (Netlist.inputs before) in
@@ -68,12 +130,53 @@ let check_pair ?(max_nodes = 100_000) ~stage before after =
         (Array.length outs_b) (Array.length outs_a);
     ]
   else begin
+    let n = Array.length outs_b in
+    (* cones are extracted (and the cache consulted) serially: the
+       netlist is mutable and the cache does I/O, neither belongs in a
+       worker lane *)
+    let cones =
+      Array.init n (fun i -> (cone before outs_b.(i), cone after outs_a.(i)))
+    in
+    let keys =
+      match cache with
+      | None -> [||]
+      | Some _ ->
+          Array.map (fun (ca, cb) -> cache_key ca cb) cones
+    in
+    let cached =
+      Array.init n (fun i ->
+          match cache with
+          | None -> None
+          | Some c -> (
+              match c.find keys.(i) with
+              | None -> None
+              | Some s ->
+                  let ca, cb = cones.(i) in
+                  decode_verdict ca cb s))
+    in
     (* one lane per primary output, verdicts combined in output order *)
     let verdicts =
-      Parallel.parallel_init ~chunk:1 (Array.length outs_b) (fun i ->
-          check_output ~max_nodes before after outs_b.(i) outs_a.(i))
+      Parallel.parallel_init ~chunk:1 n (fun i ->
+          match cached.(i) with
+          | Some v -> v
+          | None ->
+              let ca, cb = cones.(i) in
+              check_cones ~engine ~max_nodes ~conflict_budget ca cb)
     in
+    (match cache with
+    | None -> ()
+    | Some c ->
+        Array.iteri
+          (fun i v ->
+            match cached.(i) with
+            | Some _ -> ()
+            | None -> (
+                match encode_verdict v with
+                | Some s -> c.store keys.(i) s
+                | None -> ()))
+          verdicts);
     let diags = ref [] in
+    let push d = diags := d :: !diags in
     Array.iteri
       (fun i v ->
         let oid = outs_a.(i) in
@@ -85,23 +188,32 @@ let check_pair ?(max_nodes = 100_000) ~stage before after =
         match v with
         | Proven_equal -> ()
         | Proven_diff cex ->
-            diags :=
-              Diag.error ~rule:"EQ-DIFF-01" (Diag.Node oid)
-                "%s: output %s differs (counterexample inputs %s)" stage name
-                (bits cex)
-              :: !diags
-        | Sampled_diff ->
-            diags :=
-              Diag.error ~rule:"EQ-DIFF-02" (Diag.Node oid)
-                "%s: output %s differs under simulation fallback" stage name
-              :: !diags
-        | Sampled_equal ->
-            diags :=
-              Diag.info ~rule:"EQ-FALLBACK-01" (Diag.Node oid)
-                "%s: output %s exceeded the BDD budget; equivalence sampled, \
-                 not proven"
-                stage name
-              :: !diags)
+            push
+              (Diag.error ~rule:"EQ-DIFF-01" (Diag.Node oid)
+                 "%s: output %s differs (counterexample inputs %s)" stage name
+                 (bits cex))
+        | Sampled_diff _ ->
+            push
+              (Diag.error ~rule:"EQ-DIFF-02" (Diag.Node oid)
+                 "%s: output %s differs under simulation fallback" stage name)
+        | Sampled_equal Bdd_budget ->
+            push
+              (Diag.warning ~rule:"EQ-FALLBACK-01" (Diag.Node oid)
+                 "%s: output %s exceeded the BDD budget; equivalence sampled, \
+                  not proven"
+                 stage name)
+        | Sampled_equal (Sat_budget budget) ->
+            push
+              (Diag.warning ~rule:"EQ-TIMEOUT-01" (Diag.Node oid)
+                 "%s: output %s exhausted the SAT conflict budget (%d); \
+                  equivalence sampled, not proven"
+                 stage name budget)
+        | Cex_invalid cex ->
+            push
+              (Diag.error ~rule:"EQ-CEX-01" (Diag.Node oid)
+                 "%s: output %s: internal error — SAT counterexample %s does \
+                  not replay through simulation"
+                 stage name (bits cex)))
       verdicts;
     List.rev !diags
   end

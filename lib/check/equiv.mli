@@ -1,25 +1,74 @@
 (** Stage-equivalence guards ([EQ-*]): formal combinational
     equivalence between two snapshots of the same design, asserted at
     the synthesis handoffs (AOI → MAJ and MAJ → buffered AQFP inside
-    [Synth_flow.run ~check:true]).
+    [Synth_flow.run ~check:true]) and available standalone through
+    [superflow prove].
 
     The check is sharded per primary output over {!Parallel}: each
-    lane extracts the output's logic cone from both netlists (over
-    the full, shared primary-input order, so BDD variable orders
-    agree) and proves the cones equal with a budgeted ROBDD
-    ({!Bdd.check_equivalence}); a cone that exceeds the node budget
-    falls back to {!Sim.equivalent} and reports the downgrade as an
-    info-level diagnostic. Verdicts are combined in output order, so
-    the report is identical at any pool size.
+    lane proves the output's logic cone (extracted over the full,
+    shared primary-input order) equal in both netlists with the
+    selected {!engine}:
+
+    - [`Bdd] — budgeted ROBDD ({!Bdd.check_equivalence}); a cone that
+      exceeds the node budget falls back to {!Sim.equivalent} and
+      reports the downgrade;
+    - [`Sat] — SAT-sweeping CEC ({!Cec.check}), complete up to the
+      conflict budget;
+    - [`Auto] (default) — BDD first, SAT on [Too_large], so deep
+      cones are proven rather than sampled.
+
+    Every SAT counterexample is replayed through {!Sim.eval} before
+    being reported; a cex that does not actually distinguish the two
+    cones is a solver bug and surfaces as an internal-error
+    diagnostic, never as a fake difference. Verdicts are combined in
+    output order, so the report is byte-identical at any pool size.
+
+    Proven verdicts can be memoized through a {!cache} (the flow
+    wires this to [sf_db]); keys are content hashes of the two cones,
+    so a warm rerun re-proves nothing. Cache lookups and stores run
+    outside the parallel region and never affect the emitted
+    diagnostics.
 
     Rule catalog:
     - [EQ-ARITY-01] (error) — primary input/output counts differ;
     - [EQ-DIFF-01] (error) — an output provably differs (the message
-      carries the BDD counterexample input vector);
+      carries the counterexample input vector);
     - [EQ-DIFF-02] (error) — an output differs under the simulation
       fallback;
-    - [EQ-FALLBACK-01] (info) — BDD budget exceeded for an output;
-      equivalence only sampled, not proven. *)
+    - [EQ-FALLBACK-01] (warning) — BDD budget exceeded and no
+      complete engine ran; equivalence only sampled, not proven;
+    - [EQ-TIMEOUT-01] (warning) — SAT conflict budget exhausted for
+      an output; equivalence only sampled, not proven;
+    - [EQ-CEX-01] (error) — internal: a SAT counterexample failed to
+      replay through simulation. *)
+
+type engine = [ `Auto | `Bdd | `Sat ]
+
+val engine_name : engine -> string
+(** ["auto"], ["bdd"], ["sat"] — stable names for CLI flags and cache
+    key derivation. *)
+
+val engine_of_name : string -> engine option
+
+type fallback =
+  | Bdd_budget  (** BDD node budget exceeded, no SAT engine ran *)
+  | Sat_budget of int  (** SAT conflict budget (the payload) exhausted *)
+
+type verdict =
+  | Proven_equal
+  | Proven_diff of bool array  (** replayed counterexample *)
+  | Sampled_equal of fallback
+  | Sampled_diff of fallback
+  | Cex_invalid of bool array
+      (** solver produced a cex that does not replay — internal error *)
+
+type cache = {
+  find : string -> string option;
+  store : string -> string -> unit;
+}
+(** Proof-verdict memo. Only {e proven} verdicts are stored. The
+    checker stays decoupled from [sf_db]; the flow supplies an
+    implementation backed by it. *)
 
 val cone : Netlist.t -> int -> Netlist.t
 (** [cone nl oid] — the sub-netlist feeding output marker [oid]: all
@@ -27,8 +76,26 @@ val cone : Netlist.t -> int -> Netlist.t
     transitive fan-in of [oid] and the marker itself. Raises
     [Invalid_argument] if [oid] is not an [Output] node. *)
 
+val check_cones :
+  ?engine:engine ->
+  ?max_nodes:int ->
+  ?conflict_budget:int ->
+  Netlist.t ->
+  Netlist.t ->
+  verdict
+(** Prove two single-output cones (as produced by {!cone})
+    equivalent. [max_nodes] is the BDD node budget (default 100_000),
+    [conflict_budget] the SAT conflict budget (default
+    {!Cec.default_budget}). *)
+
 val check_pair :
-  ?max_nodes:int -> stage:string -> Netlist.t -> Netlist.t -> Diag.t list
+  ?engine:engine ->
+  ?max_nodes:int ->
+  ?conflict_budget:int ->
+  ?cache:cache ->
+  stage:string ->
+  Netlist.t ->
+  Netlist.t ->
+  Diag.t list
 (** [check_pair ~stage before after] — per-output equivalence of two
-    netlists; [stage] (e.g. ["aoi->maj"]) tags the messages.
-    [max_nodes] is the per-output BDD budget (default 100_000). *)
+    netlists; [stage] (e.g. ["aoi->maj"]) tags the messages. *)

@@ -36,9 +36,51 @@ let check nl =
           match Hashtbl.find_opt seen name with
           | Some first ->
               push
-                (Diag.warning ~rule:"NL-DUP-01" (Diag.Node nd.Netlist.id)
+                (Diag.warning ~rule:"NL-NAME-01" (Diag.Node nd.Netlist.id)
                    "name %S already used by node %d" name first)
           | None -> Hashtbl.add seen name nd.Netlist.id));
+  (* AIG-backed lints: structural hashing + constant propagation find
+     redundant and degenerate logic. Conversion needs a structurally
+     sound netlist (in-range fan-ins, correct arities, no cycles). *)
+  if structural = [] then begin
+    let aig = Aig.create ~n_inputs:(List.length (Netlist.inputs nl)) in
+    let lits = Aig.add_netlist aig nl in
+    (* two gates computing the same AIG literal from the same fan-ins
+       are redundant copies. Buffers and splitters are exempt: in AQFP
+       they legitimately replicate a signal for pipelining/fan-out. *)
+    let dup : (int list * int, int) Hashtbl.t = Hashtbl.create 64 in
+    Netlist.iter nl (fun nd ->
+        match nd.Netlist.kind with
+        | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Buf
+        | Netlist.Splitter _ ->
+            ()
+        | Netlist.Not | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor
+        | Netlist.Xor | Netlist.Xnor | Netlist.Maj -> (
+            let key =
+              ( List.sort compare (Array.to_list nd.Netlist.fanins),
+                lits.(nd.Netlist.id) )
+            in
+            match Hashtbl.find_opt dup key with
+            | Some first ->
+                push
+                  (Diag.warning ~rule:"NL-DUP-01" (Diag.Node nd.Netlist.id)
+                     "structurally duplicate gate: %s node recomputes node %d \
+                      (same function of the same fan-ins)"
+                     (Netlist.kind_name nd.Netlist.kind) first)
+            | None -> Hashtbl.add dup key nd.Netlist.id));
+    List.iter
+      (fun oid ->
+        let l = lits.(oid) in
+        if l = Aig.false_lit || l = Aig.true_lit then
+          push
+            (Diag.warning ~rule:"NL-CONST-01" (Diag.Node oid)
+               "output%s is provably constant %d"
+               (match Netlist.name nl oid with
+               | Some n -> Printf.sprintf " %S" n
+               | None -> "")
+               (l land 1)))
+      (Netlist.outputs nl)
+  end;
   (* liveness (needs in-range fanin ids; skip when structure is broken) *)
   if not (List.exists (fun d -> d.Diag.rule = "NL-DANGLE-01") structural) then begin
     let counts = fanout_counts_parallel nl in

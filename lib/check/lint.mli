@@ -9,11 +9,21 @@
     - [NL-CYCLE-01] (error) — combinational cycle;
     - [NL-FANOUT-01] (error) — a [Splitter k] drives a number of
       consumers different from [k];
-    - [NL-DUP-01] (warning) — two nodes share a name;
+    - [NL-NAME-01] (warning) — two nodes share a name;
+    - [NL-DUP-01] (warning) — structurally duplicate gate: a gate
+      recomputes the same AIG function of the same fan-ins as an
+      earlier gate (buffers/splitters exempt — replication is their
+      job);
+    - [NL-CONST-01] (warning) — a primary output is provably constant
+      after AIG constant propagation;
     - [NL-DEAD-01] (warning) — a logic node computes a value nobody
       consumes (dead logic);
     - [NL-INPUT-01] (info) — an unused primary input;
     - [NL-OUT-01] (warning) — the netlist has no primary outputs.
+
+    The duplicate/constant rules ride on [sf_sat]'s structurally
+    hashed {!Aig} and only run when the netlist is structurally sound
+    (no [NL-ARITY-01]/[NL-DANGLE-01]/[NL-CYCLE-01]).
 
     Fanout counting is sharded over {!Parallel} chunks with a
     deterministic combine, so large netlists lint at full core

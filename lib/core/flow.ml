@@ -102,7 +102,7 @@ type staged = {
 
 (* engine format tag: part of every cache key, so changing the stage
    graph (not just one codec) invalidates the whole cache *)
-let graph_version = "sf-flow-graph-1"
+let graph_version = "sf-flow-graph-2"
 
 exception Stage_failed of Diag.t
 
@@ -125,11 +125,24 @@ let put db codec v = Db.put_object db (codec.Artifact.encode v)
 
 let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     ?(router = Router.Sequential) ?(seed = 1) ?jobs ?db ?(from_stage = Synth)
-    ?(to_stage = Layout) ?gds_path ?def_path aoi =
+    ?(to_stage = Layout) ?(equiv_engine = `Auto) ?gds_path ?def_path aoi =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   (* running "to check" switches the synthesis equivalence guards on,
      exactly like [run ~check:true] *)
   let guard = stage_rank to_stage >= stage_rank Check in
+  (* proof verdicts are memoized per cone pair in the database: a warm
+     [--check] rerun whose synth stage somehow misses (say, a changed
+     engine) still re-proves nothing that is already on disk *)
+  let proof_cache =
+    match db with
+    | Some dbh when guard ->
+        Some
+          {
+            Equiv.find = (fun k -> Db.find_proof dbh ~key:k);
+            store = (fun k v -> Db.put_proof dbh ~key:k v);
+          }
+    | _ -> None
+  in
   if stage_rank from_stage > stage_rank to_stage then
     Error
       (Codec.err ~rule:"DB-RANGE-01" "--from %s is after --to %s"
@@ -207,7 +220,11 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
       let (aqfp0, synth_report), s_synth =
         exec ~stage:Synth
           ~parts:(fun () ->
-            [ Lazy.force h_aoi; (if guard then "guards" else "noguards") ])
+            [
+              Lazy.force h_aoi;
+              (if guard then "guards-" ^ Equiv.engine_name equiv_engine
+               else "noguards");
+            ])
           ~load:(fun db slots _ ->
             match load_obj db Artifact.netlist slots "aqfp0" with
             | Error _ as e -> e
@@ -221,7 +238,9 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                 ("report", put db Artifact.synth_report rep);
               ],
               [] ))
-          ~compute:(fun () -> Synth_flow.run ~check:guard aoi)
+          ~compute:(fun () ->
+            Synth_flow.run ~check:guard ~engine:equiv_engine ?cache:proof_cache
+              aoi)
       in
       (* 2. placement + max-wirelength buffer-line insertion (re-threads
          long hops through whole rows of buffers, keeping the pipeline
@@ -500,32 +519,32 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     with Stage_failed d -> Error d
   end
 
-let run ?tech ?algorithm ?router ?seed ?jobs ?(check = false) ?db ?gds_path
-    ?def_path aoi =
+let run ?tech ?algorithm ?router ?seed ?jobs ?(check = false) ?equiv_engine ?db
+    ?gds_path ?def_path aoi =
   match
     run_staged ?tech ?algorithm ?router ?seed ?jobs ?db
       ~to_stage:(if check then Check else Layout)
-      ?gds_path ?def_path aoi
+      ?equiv_engine ?gds_path ?def_path aoi
   with
   | Ok { result = Some r; _ } -> r
   | Ok _ -> assert false (* to_stage >= Layout always yields a result *)
   | Error d -> failwith (Diag.to_string d)
 
-let run_verilog ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
-    ?def_path source =
+let run_verilog ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
+    ?gds_path ?def_path source =
   match Verilog.parse source with
   | Error e -> Error e
   | Ok aoi ->
-      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
-            ?def_path aoi)
+      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
+            ?gds_path ?def_path aoi)
 
-let run_bench_file ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
-    ?def_path path =
+let run_bench_file ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
+    ?gds_path ?def_path path =
   match Bench_parser.parse_file path with
   | Error e -> Error e
   | Ok aoi ->
-      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?db ?gds_path
-            ?def_path aoi)
+      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
+            ?gds_path ?def_path aoi)
 
 let pp_summary ppf r =
   let s = Layout.stats r.layout in

@@ -52,8 +52,9 @@ val check_passes : result -> Check.pass list
     the hash of its input-artifact hashes plus every parameter that
     affects its result:
 
-    - [synth]: the AOI netlist, and whether equivalence guards run
-      (i.e. whether the flow ends at the [check] stage);
+    - [synth]: the AOI netlist, whether equivalence guards run
+      (i.e. whether the flow ends at the [check] stage), and which
+      {!Equiv.engine} proves them;
     - [place]: the AQFP netlist from [synth], the technology record,
       the placement algorithm and the seed — covers placement,
       buffer-line insertion, the settling pass and channel pre-sizing;
@@ -106,6 +107,7 @@ val run_staged :
   ?db:Db.t ->
   ?from_stage:stage ->
   ?to_stage:stage ->
+  ?equiv_engine:Equiv.engine ->
   ?gds_path:string ->
   ?def_path:string ->
   Netlist.t ->
@@ -121,9 +123,13 @@ val run_staged :
     is already in the database — a miss there fails with [DB-FROM-01]
     rather than silently recomputing; [to_stage] (default [Layout])
     stops the graph early. [to_stage = Check] switches the synthesis
-    equivalence guards on, exactly like [run ~check:true]. Errors:
-    [DB-RANGE-01] when [from_stage] is after [to_stage] or [from_stage]
-    is given without [db]. *)
+    equivalence guards on, exactly like [run ~check:true];
+    [equiv_engine] (default [`Auto]) selects the guard's proof engine
+    ({!Equiv.engine}) and participates in the [synth] cache key, and
+    when [db] is attached the individual cone proofs memoize into the
+    database's proof cache ({!Db.put_proof}). Errors: [DB-RANGE-01]
+    when [from_stage] is after [to_stage] or [from_stage] is given
+    without [db]. *)
 
 val run :
   ?tech:Tech.t ->
@@ -132,6 +138,7 @@ val run :
   ?seed:int ->
   ?jobs:int ->
   ?check:bool ->
+  ?equiv_engine:Equiv.engine ->
   ?db:Db.t ->
   ?gds_path:string ->
   ?def_path:string ->
@@ -143,21 +150,25 @@ val run :
     (routing, placement gradients, STA, DRC, checker) — results are
     bit-identical at every value, see {!Parallel}; [check] (default
     false) runs the {!Check} static-verification gate over every
-    stage handoff and stores its report; [db] attaches a design
+    stage handoff and stores its report; [equiv_engine] selects the
+    synthesis guards' proof engine (default [`Auto]: BDD first, SAT
+    on blow-up); [db] attaches a design
     database so stages are cached ({!run_staged}); [gds_path] writes
     the final GDSII stream; [def_path] the DEF-style
     placement/routing dump. *)
 
 val run_verilog :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?seed:int -> ?jobs:int -> ?check:bool -> ?db:Db.t -> ?gds_path:string ->
-  ?def_path:string -> string -> (result, string) Stdlib.result
+  ?seed:int -> ?jobs:int -> ?check:bool -> ?equiv_engine:Equiv.engine ->
+  ?db:Db.t -> ?gds_path:string -> ?def_path:string -> string ->
+  (result, string) Stdlib.result
 (** Full flow from Verilog source text. *)
 
 val run_bench_file :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
-  ?seed:int -> ?jobs:int -> ?check:bool -> ?db:Db.t -> ?gds_path:string ->
-  ?def_path:string -> string -> (result, string) Stdlib.result
+  ?seed:int -> ?jobs:int -> ?check:bool -> ?equiv_engine:Equiv.engine ->
+  ?db:Db.t -> ?gds_path:string -> ?def_path:string -> string ->
+  (result, string) Stdlib.result
 (** Full flow from an ISCAS [.bench] file path. *)
 
 val version : string

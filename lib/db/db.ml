@@ -149,3 +149,22 @@ let misses t =
 let reset_log t =
   t.log <- [];
   t.warns <- []
+
+(* Proof-verdict memos: tiny manifests under the "proof" stage whose
+   single slot points at the verdict bytes in the object store (all
+   "equal" proofs share one object). The caller's key is an arbitrary
+   content-derived string; it is hashed into the manifest name. *)
+
+let put_proof t ~key verdict =
+  let h = put_object t verdict in
+  put_stage t ~stage:"proof" ~key:(hash key) ~slots:[ ("verdict", h) ]
+    ~scalars:[]
+
+let find_proof t ~key =
+  match get_stage t ~stage:"proof" ~key:(hash key) with
+  | None -> None
+  | Some (slots, _) -> (
+      match List.assoc_opt "verdict" slots with
+      | None -> None
+      | Some h -> (
+          match get_object t h with Ok v -> Some v | Error _ -> None))

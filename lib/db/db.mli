@@ -69,6 +69,18 @@ val get_stage :
 (** Look up a cached stage execution. [None] on a genuine miss {e or}
     on a corrupt manifest (which is also recorded via {!warnings}). *)
 
+(** {1 Proof cache} *)
+
+val put_proof : t -> key:string -> string -> unit
+(** Memoize an equivalence-proof verdict under a caller-chosen
+    content-derived key (the equivalence engine keys on the hashes of
+    the two cones). Verdict bytes land in the object store, so
+    identical verdicts are shared. *)
+
+val find_proof : t -> key:string -> string option
+(** Look up a memoized verdict; [None] on a miss or any corrupt
+    entry (which self-heals like every other stage entry). *)
+
 (** {1 Run log} *)
 
 val record : t -> string -> outcome -> float -> unit

@@ -248,3 +248,18 @@ let pp_stats ppf t =
     (count_kind t (fun k -> k = Maj))
     (count_kind t (fun k -> k = Buf))
     (count_kind t (function Splitter _ -> true | _ -> false))
+
+let struct_hash t =
+  (* canonical structural dump: kinds + fan-in wiring in id order;
+     names and phases deliberately excluded so that relabeled but
+     identically-wired netlists hash alike *)
+  let buf = Buffer.create 1024 in
+  iter t (fun nd ->
+      Buffer.add_string buf (kind_name nd.kind);
+      Array.iter
+        (fun f ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int f))
+        nd.fanins;
+      Buffer.add_char buf '\n');
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -118,6 +118,13 @@ val validate : t -> (string, string) result
 
 val copy : t -> t
 
+val struct_hash : t -> string
+(** Hex digest of the netlist's structure: node kinds and fan-in
+    wiring in id order, with names and phases excluded. Two netlists
+    with equal [struct_hash] are isomorphic as labeled DAGs (same ids,
+    same gates, same edges). Used as the proof-cache key by the
+    equivalence engines. *)
+
 val to_dot : t -> string
 (** Graphviz dump for debugging. *)
 

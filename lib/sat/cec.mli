@@ -1,0 +1,27 @@
+(** SAT-based combinational equivalence checking.
+
+    Both netlists are converted into one shared, structurally-hashed
+    {!Aig} over a common set of primary inputs, a miter (OR of
+    per-output XORs) is built on top, and the miter is decided with
+    {!Solver} after a SAT-sweeping pass: deterministic random
+    simulation buckets candidate-equivalent internal nodes, incremental
+    SAT calls prove them, and each proven pair is merged by adding
+    equality clauses that strengthen the final miter solve.
+
+    Everything is deterministic: the simulation stimulus comes from a
+    fixed {!Rng} seed, buckets are processed in node-id order and the
+    solver itself is deterministic. *)
+
+type verdict =
+  | Equal  (** miter UNSAT — proven equivalent *)
+  | Diff of bool array
+      (** counterexample, one bool per primary input in
+          [Netlist.inputs] order *)
+  | Unknown of int  (** conflict budget (the argument) exhausted *)
+
+val default_budget : int
+
+val check : ?conflict_budget:int -> Netlist.t -> Netlist.t -> verdict
+(** [check a b] — the netlists must have the same number of primary
+    inputs and outputs ([Invalid_argument] otherwise); inputs pair up
+    in [Netlist.inputs] order, outputs in [Netlist.outputs] order. *)

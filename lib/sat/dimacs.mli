@@ -1,0 +1,23 @@
+(** DIMACS CNF reader/writer.
+
+    Clauses use DIMACS conventions: variables are 1-based, a negative
+    integer is a negated literal, 0 terminates a clause. This module is
+    the standalone test harness for {!Solver}: parse a formula, solve
+    it, print a model — no netlists involved. *)
+
+type cnf = {
+  n_vars : int;
+  clauses : int list list;  (** DIMACS literals, no terminating 0 *)
+}
+
+val parse : string -> (cnf, string) result
+(** Parse DIMACS CNF text. Comment lines ([c ...]) are skipped; the
+    [p cnf V C] header is required. Variables mentioned beyond the
+    declared count grow [n_vars] rather than erroring. *)
+
+val to_string : cnf -> string
+(** Render back to DIMACS text with a [p cnf] header. *)
+
+val solve : ?conflict_budget:int -> cnf -> [ `Sat of bool array | `Unsat | `Unknown ]
+(** Solve with {!Solver}. On [`Sat m], [m.(v-1)] is the value of
+    DIMACS variable [v]. *)

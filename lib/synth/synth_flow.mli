@@ -20,13 +20,20 @@ type report = {
           [run ~check:true] *)
 }
 
-val run : ?check:bool -> Netlist.t -> Netlist.t * report
+val run :
+  ?check:bool ->
+  ?engine:Equiv.engine ->
+  ?cache:Equiv.cache ->
+  Netlist.t ->
+  Netlist.t * report
 (** Synthesize an AOI netlist into a placement-ready AQFP netlist:
     AOI optimization ({!Opt}), majority conversion (cut-collapsing vs
     per-gate, cheaper wins), splitter/buffer insertion (per-edge
     chains vs shared ladders, cheaper wins). [check] (default false)
-    runs the per-output equivalence guards at each handoff. Raises
-    [Invalid_argument] if the input contains non-AOI gates. *)
+    runs the per-output equivalence guards at each handoff with the
+    given {!Equiv.engine} (default [`Auto]); [cache] memoizes proven
+    verdicts across runs. Raises [Invalid_argument] if the input
+    contains non-AOI gates. *)
 
 val run_quiet : Netlist.t -> Netlist.t
 (** [run] without the report. *)

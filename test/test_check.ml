@@ -65,7 +65,42 @@ let test_lint_clean_and_dead () =
   let a = Netlist.add nl2 ~name:"sig" Netlist.Input [||] in
   let n = Netlist.add nl2 ~name:"sig" Netlist.Not [| a |] in
   ignore (Netlist.add nl2 Netlist.Output [| n |]);
-  checki "NL-DUP-01 once" 1 (count_rule "NL-DUP-01" (Lint.check nl2))
+  checki "NL-NAME-01 once" 1 (count_rule "NL-NAME-01" (Lint.check nl2))
+
+let test_lint_structural_dup_and_const () =
+  (* NL-DUP-01: two gates computing the same function of the same
+     fan-ins (And a b / And b a — commutatively identical) *)
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+  let b = Netlist.add nl ~name:"b" Netlist.Input [||] in
+  let x1 = Netlist.add nl Netlist.And [| a; b |] in
+  let x2 = Netlist.add nl Netlist.And [| b; a |] in
+  (* same fan-ins, different function: must NOT fire *)
+  let x3 = Netlist.add nl Netlist.Or [| a; b |] in
+  let m = Netlist.add nl Netlist.Maj [| x1; x2; x3 |] in
+  ignore (Netlist.add nl ~name:"y" Netlist.Output [| m |]);
+  let diags = Lint.check nl in
+  checki "NL-DUP-01 fires exactly once" 1 (count_rule "NL-DUP-01" diags);
+  checki "no NL-CONST-01" 0 (count_rule "NL-CONST-01" diags);
+  (* parallel buffers are AQFP pipelining, never duplicates *)
+  let nlb = Netlist.create () in
+  let a = Netlist.add nlb Netlist.Input [||] in
+  let s = Netlist.add nlb (Netlist.Splitter 2) [| a |] in
+  let b1 = Netlist.add nlb Netlist.Buf [| s |] in
+  let b2 = Netlist.add nlb Netlist.Buf [| s |] in
+  ignore (Netlist.add nlb Netlist.Output [| b1 |]);
+  ignore (Netlist.add nlb Netlist.Output [| b2 |]);
+  checki "buffers exempt from NL-DUP-01" 0
+    (count_rule "NL-DUP-01" (Lint.check nlb));
+  (* NL-CONST-01: x AND NOT x is provably constant 0 *)
+  let nlc = Netlist.create () in
+  let x = Netlist.add nlc ~name:"x" Netlist.Input [||] in
+  let nx = Netlist.add nlc Netlist.Not [| x |] in
+  let z = Netlist.add nlc Netlist.And [| x; nx |] in
+  ignore (Netlist.add nlc ~name:"zero" Netlist.Output [| z |]);
+  let diags = Lint.check nlc in
+  checki "NL-CONST-01 fires exactly once" 1 (count_rule "NL-CONST-01" diags);
+  checki "no NL-DUP-01 here" 0 (count_rule "NL-DUP-01" diags)
 
 (* ---------- AQFP legality ---------- *)
 
@@ -142,6 +177,89 @@ let test_equiv_guard () =
   let aoi = Circuits.kogge_stone_adder 4 in
   let _, report = Synth_flow.run ~check:true aoi in
   checki "synthesis guards clean" 0 (errors report.Synth_flow.guard_diags)
+
+(* xor association: equivalent, but structurally different enough
+   that nothing collapses by hashing alone *)
+let xor3_pair () =
+  let mk left =
+    let nl = Netlist.create () in
+    let a = Netlist.add nl ~name:"a" Netlist.Input [||] in
+    let b = Netlist.add nl ~name:"b" Netlist.Input [||] in
+    let c = Netlist.add nl ~name:"c" Netlist.Input [||] in
+    let o =
+      if left then
+        Netlist.add nl Netlist.Xor [| Netlist.add nl Netlist.Xor [| a; b |]; c |]
+      else
+        Netlist.add nl Netlist.Xor [| a; Netlist.add nl Netlist.Xor [| b; c |] |]
+    in
+    ignore (Netlist.add nl ~name:"y" Netlist.Output [| o |]);
+    nl
+  in
+  (mk true, mk false)
+
+let severity_of rule diags =
+  match List.find_opt (fun d -> d.Diag.rule = rule) diags with
+  | Some d -> Some d.Diag.severity
+  | None -> None
+
+let test_equiv_engines () =
+  let l, r = xor3_pair () in
+  (* pure BDD with a starved budget: sampled, downgrade reported *)
+  let d = Equiv.check_pair ~engine:`Bdd ~max_nodes:1 ~stage:"t" l r in
+  checki "EQ-FALLBACK-01 once" 1 (count_rule "EQ-FALLBACK-01" d);
+  checkb "fallback escalated to warning" true
+    (severity_of "EQ-FALLBACK-01" d = Some Diag.Warning);
+  (* auto with the same starved BDD: SAT completes the proof *)
+  checki "auto proves what bdd sampled" 0
+    (List.length (Equiv.check_pair ~engine:`Auto ~max_nodes:1 ~stage:"t" l r));
+  checki "sat proves it too" 0
+    (List.length (Equiv.check_pair ~engine:`Sat ~stage:"t" l r));
+  (* starved SAT: EQ-TIMEOUT-01 warning carrying the budget *)
+  let d = Equiv.check_pair ~engine:`Sat ~conflict_budget:0 ~stage:"t" l r in
+  checki "EQ-TIMEOUT-01 once" 1 (count_rule "EQ-TIMEOUT-01" d);
+  checkb "timeout is a warning" true
+    (severity_of "EQ-TIMEOUT-01" d = Some Diag.Warning);
+  checkb "budget value in message" true
+    (match List.find_opt (fun x -> x.Diag.rule = "EQ-TIMEOUT-01") d with
+    | Some x -> contains x.Diag.message "(0)"
+    | None -> false);
+  (* a real difference under the SAT engine is a proven, replayed cex *)
+  let diff_a, diff_b = two_gate_pair Netlist.And Netlist.Or in
+  let d = Equiv.check_pair ~engine:`Sat ~stage:"t" diff_a diff_b in
+  checki "EQ-DIFF-01 once under sat" 1 (count_rule "EQ-DIFF-01" d);
+  checki "no EQ-CEX-01" 0 (count_rule "EQ-CEX-01" d)
+
+let test_equiv_proof_cache () =
+  let mem : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let hits = ref 0 and stores = ref 0 in
+  let cache =
+    {
+      Equiv.find =
+        (fun k ->
+          let r = Hashtbl.find_opt mem k in
+          (match r with Some _ -> incr hits | None -> ());
+          r);
+      store =
+        (fun k v ->
+          incr stores;
+          Hashtbl.replace mem k v);
+    }
+  in
+  let l, r = xor3_pair () in
+  let d1 = Equiv.check_pair ~cache ~stage:"t" l r in
+  checki "cold run stores the proof" 1 !stores;
+  checki "cold run has no hits" 0 !hits;
+  let d2 = Equiv.check_pair ~cache ~stage:"t" l r in
+  checki "warm run stores nothing new" 1 !stores;
+  checki "warm run hits" 1 !hits;
+  checkb "verdicts identical warm vs cold" true (d1 = d2);
+  (* cached counterexamples replay on the way back in *)
+  let diff_a, diff_b = two_gate_pair Netlist.And Netlist.Or in
+  let d3 = Equiv.check_pair ~cache ~stage:"t" diff_a diff_b in
+  let d4 = Equiv.check_pair ~cache ~stage:"t" diff_a diff_b in
+  checki "diff cached too" 2 !stores;
+  checkb "cached diff identical" true (d3 = d4);
+  checki "EQ-DIFF-01 from cache" 1 (count_rule "EQ-DIFF-01" d4)
 
 (* ---------- placement audit ---------- *)
 
@@ -341,6 +459,9 @@ let () =
             test_splitter_fanout_mismatch;
           Alcotest.test_case "dead logic and duplicate names" `Quick
             test_lint_clean_and_dead;
+          Alcotest.test_case
+            "structural duplicates + constant outputs (NL-DUP-01, NL-CONST-01)"
+            `Quick test_lint_structural_dup_and_const;
         ] );
       ( "aqfp legality",
         [
@@ -352,7 +473,12 @@ let () =
             test_aqfp_output_balancing;
         ] );
       ( "equivalence",
-        [ Alcotest.test_case "guards (EQ-DIFF-01)" `Quick test_equiv_guard ] );
+        [
+          Alcotest.test_case "guards (EQ-DIFF-01)" `Quick test_equiv_guard;
+          Alcotest.test_case "engines (bdd/sat/auto, timeout, fallback)"
+            `Quick test_equiv_engines;
+          Alcotest.test_case "proof cache" `Quick test_equiv_proof_cache;
+        ] );
       ( "placement audit",
         [
           Alcotest.test_case "overlap / row / grid rules" `Quick

@@ -1,0 +1,302 @@
+(* Tests for the sf_sat subsystem: the CDCL solver must agree with
+   brute-force enumeration and return valid models, DIMACS must
+   round-trip, and the CEC sweeper must prove unmutated benchmark
+   pairs equal while producing replayable counterexamples for seeded
+   mutations. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------- indexed heap ---------- *)
+
+let test_iheap () =
+  let act = [| 1.0; 5.0; 3.0; 5.0; 0.0 |] in
+  let h =
+    Iheap.create ~better:(fun a b ->
+        act.(a) > act.(b) || (act.(a) = act.(b) && a < b))
+  in
+  List.iter (Iheap.insert h) [ 0; 1; 2; 3; 4 ];
+  Iheap.insert h 1;
+  checki "no duplicate insert" 5 (Iheap.length h);
+  checkb "mem" true (Iheap.mem h 3);
+  (* equal activities pop in index order: 1 before 3 *)
+  let order = List.init 5 (fun _ -> Option.get (Iheap.pop h)) in
+  checkb "pop order deterministic" true (order = [ 1; 3; 2; 0; 4 ]);
+  checkb "empty" true (Iheap.is_empty h);
+  Iheap.insert h 2;
+  act.(4) <- 9.0;
+  Iheap.insert h 4;
+  Iheap.update h 2;
+  checkb "best after update" true (Iheap.pop h = Some 4)
+
+(* ---------- solver vs brute force ---------- *)
+
+let eval_cnf cnf assignment =
+  List.for_all
+    (fun cl ->
+      List.exists
+        (fun d ->
+          let v = assignment.(abs d - 1) in
+          if d < 0 then not v else v)
+        cl)
+    cnf.Dimacs.clauses
+
+let brute_force_sat cnf =
+  let n = cnf.Dimacs.n_vars in
+  let found = ref false in
+  let m = 1 lsl n in
+  let i = ref 0 in
+  while (not !found) && !i < m do
+    let a = Array.init n (fun k -> (!i lsr k) land 1 = 1) in
+    if eval_cnf cnf a then found := true;
+    incr i
+  done;
+  !found
+
+let random_cnf rng =
+  let n = 3 + Rng.int rng 10 in
+  (* around the sat/unsat threshold so both answers occur *)
+  let m = max 1 (n * (3 + Rng.int rng 3)) in
+  let clauses =
+    List.init m (fun _ ->
+        let len = 2 + Rng.int rng 3 in
+        List.init len (fun _ ->
+            let v = 1 + Rng.int rng n in
+            if Rng.bool rng then v else -v))
+  in
+  { Dimacs.n_vars = n; clauses }
+
+let test_cdcl_vs_brute_force () =
+  let rng = Rng.create 42 in
+  let sat_seen = ref 0 and unsat_seen = ref 0 in
+  for _ = 1 to 150 do
+    let cnf = random_cnf rng in
+    let expect = brute_force_sat cnf in
+    (match Dimacs.solve cnf with
+    | `Sat model ->
+      incr sat_seen;
+      checkb "solver sat iff brute-force sat" true expect;
+      checkb "model satisfies the formula" true (eval_cnf cnf model)
+    | `Unsat ->
+      incr unsat_seen;
+      checkb "solver unsat iff brute-force unsat" false expect
+    | `Unknown -> Alcotest.fail "unbudgeted solve returned Unknown")
+  done;
+  checkb "exercised both answers" true (!sat_seen > 10 && !unsat_seen > 10)
+
+let test_solver_determinism () =
+  let rng = Rng.create 7 in
+  let cnfs = List.init 20 (fun _ -> random_cnf rng) in
+  let run () =
+    List.map
+      (fun cnf ->
+        match Dimacs.solve cnf with
+        | `Sat m -> "s" ^ String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list m))
+        | `Unsat -> "u"
+        | `Unknown -> "?")
+      cnfs
+  in
+  checkb "identical reruns" true (run () = run ())
+
+(* ---------- assumptions, incrementality, budget ---------- *)
+
+let test_assumptions_incremental () =
+  let s = Solver.create () in
+  let x = Solver.lit_of_var (Solver.new_var s) in
+  let y = Solver.lit_of_var (Solver.new_var s) in
+  Solver.add_clause s [ x; y ];
+  Solver.add_clause s [ Solver.neg_lit x; y ];
+  (* x∨y, ¬x∨y ⊨ y *)
+  checkb "y forced" true
+    (Solver.solve ~assumptions:[ Solver.neg_lit y ] s = Solver.Unsat);
+  checkb "still sat without assumptions" true (Solver.solve s = Solver.Sat);
+  checkb "model has y" true (Solver.model_value s y);
+  (* the assumption-unsat above must not have poisoned the solver *)
+  checkb "okay" true (Solver.okay s);
+  Solver.add_clause s [ Solver.neg_lit y ];
+  checkb "now truly unsat" true (Solver.solve s = Solver.Unsat);
+  checkb "not okay" false (Solver.okay s)
+
+(* Pigeonhole PHP(n+1, n): classic hard UNSAT family. *)
+let pigeonhole s n =
+  let v = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Solver.new_var s)) in
+  for i = 0 to n do
+    Solver.add_clause s
+      (List.init n (fun j -> Solver.lit_of_var v.(i).(j)))
+  done;
+  for j = 0 to n - 1 do
+    for i = 0 to n do
+      for k = i + 1 to n do
+        Solver.add_clause s
+          [
+            Solver.neg_lit (Solver.lit_of_var v.(i).(j));
+            Solver.neg_lit (Solver.lit_of_var v.(k).(j));
+          ]
+      done
+    done
+  done
+
+let test_budget_and_php () =
+  let s = Solver.create () in
+  pigeonhole s 4;
+  checkb "php(5,4) needs conflicts" true
+    (Solver.solve ~conflict_budget:1 s = Solver.Unknown);
+  (* learnt clauses survive; resumed solve finishes the proof *)
+  checkb "php(5,4) unsat" true (Solver.solve s = Solver.Unsat);
+  let s2 = Solver.create () in
+  pigeonhole s2 6;
+  checkb "php(7,6) unsat (restarts + reduction exercised)" true
+    (Solver.solve s2 = Solver.Unsat);
+  checkb "nontrivial conflict count" true (Solver.conflicts s2 > 50)
+
+(* ---------- DIMACS ---------- *)
+
+let test_dimacs_roundtrip () =
+  let text = "c a comment\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n" in
+  match Dimacs.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok cnf ->
+    checki "vars" 3 cnf.Dimacs.n_vars;
+    checki "clauses" 3 (List.length cnf.Dimacs.clauses);
+    (match Dimacs.parse (Dimacs.to_string cnf) with
+    | Error e -> Alcotest.fail e
+    | Ok cnf' ->
+      checkb "round-trip" true (cnf = cnf');
+      (match Dimacs.solve cnf' with
+      | `Sat m ->
+        checkb "¬x1 forced" false m.(0);
+        checkb "model valid" true (eval_cnf cnf' m)
+      | `Unsat | `Unknown -> Alcotest.fail "expected sat"));
+    checkb "missing header rejected" true
+      (match Dimacs.parse "1 2 0\n" with Error _ -> true | Ok _ -> false);
+    checkb "junk rejected" true
+      (match Dimacs.parse "p cnf 2 1\n1 x 0\n" with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* ---------- AIG ---------- *)
+
+let test_aig_strash () =
+  let g = Aig.create ~n_inputs:3 in
+  let a = Aig.input_lit g 0 and b = Aig.input_lit g 1 in
+  let x1 = Aig.mk_and g a b in
+  let x2 = Aig.mk_and g b a in
+  checkb "commutative strash" true (x1 = x2);
+  checkb "const fold" true (Aig.mk_and g a Aig.false_lit = Aig.false_lit);
+  checkb "identity" true (Aig.mk_and g a Aig.true_lit = a);
+  checkb "idempotent" true (Aig.mk_and g a a = a);
+  checkb "contradiction" true (Aig.mk_and g a (Aig.neg a) = Aig.false_lit);
+  let n = Aig.n_nodes g in
+  ignore (Aig.mk_and g a b);
+  checki "hash hit allocates nothing" n (Aig.n_nodes g);
+  (* xor truth table via sim *)
+  let x = Aig.mk_xor g a b in
+  let vals = Aig.sim g [| 0b1010L; 0b1100L; 0L |] in
+  checkb "xor sim" true
+    (Int64.logand (Aig.lit_word vals x) 0b1111L = 0b0110L);
+  let mj = Aig.mk_maj g a b (Aig.input_lit g 2) in
+  let vals = Aig.sim g [| 0b10101010L; 0b11001100L; 0b11110000L |] in
+  checkb "maj sim" true
+    (Int64.logand (Aig.lit_word vals mj) 0xffL = 0b11101000L)
+
+(* ---------- CEC ---------- *)
+
+let xor3 assoc_left =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Input [||] in
+  let b = Netlist.add nl Netlist.Input [||] in
+  let c = Netlist.add nl Netlist.Input [||] in
+  let o =
+    if assoc_left then
+      Netlist.add nl Netlist.Xor [| Netlist.add nl Netlist.Xor [| a; b |]; c |]
+    else
+      Netlist.add nl Netlist.Xor [| a; Netlist.add nl Netlist.Xor [| b; c |] |]
+  in
+  ignore (Netlist.add nl Netlist.Output [| o |]);
+  nl
+
+let replays a b cex =
+  Sim.eval a cex <> Sim.eval b cex
+
+let test_cec_basic () =
+  let l = xor3 true and r = xor3 false in
+  checkb "xor associativity proven" true (Cec.check l r = Cec.Equal);
+  (* a genuinely different pair: xor3 vs maj *)
+  let m = Netlist.create () in
+  let a = Netlist.add m Netlist.Input [||] in
+  let b = Netlist.add m Netlist.Input [||] in
+  let c = Netlist.add m Netlist.Input [||] in
+  ignore (Netlist.add m Netlist.Output [| Netlist.add m Netlist.Maj [| a; b; c |] |]);
+  (match Cec.check l m with
+  | Cec.Diff cex -> checkb "cex replays" true (replays l m cex)
+  | Cec.Equal | Cec.Unknown _ -> Alcotest.fail "expected Diff");
+  (* zero-ish budget on a non-trivial equivalence -> Unknown *)
+  match Cec.check ~conflict_budget:0 l r with
+  | Cec.Unknown b -> checki "budget echoed" 0 b
+  | Cec.Equal -> Alcotest.fail "expected Unknown, got Equal"
+  | Cec.Diff _ -> Alcotest.fail "expected Unknown, got Diff"
+
+(* Pin a non-IO node to a constant; CEC must find a replayable cex, or
+   prove the fault redundant in agreement with exhaustive/sampled
+   simulation. *)
+let mutation_targets nl =
+  let n = Netlist.size nl in
+  let eligible id =
+    match Netlist.kind nl id with
+    | Netlist.Input | Netlist.Output | Netlist.Const _ -> false
+    | _ -> true
+  in
+  List.filter eligible [ n / 4; n / 2; (3 * n) / 4 ]
+  |> List.sort_uniq compare
+
+let test_cec_benchmarks_and_mutations () =
+  List.iter
+    (fun name ->
+      let nl = Circuits.benchmark name in
+      checkb
+        (name ^ ": unmutated pair proven equal")
+        true
+        (Cec.check nl (Netlist.copy nl) = Cec.Equal);
+      List.iteri
+        (fun k id ->
+          let m = Netlist.copy nl in
+          Netlist.set_kind m id (Netlist.Const (k mod 2 = 0));
+          Netlist.set_fanins m id [||];
+          match Cec.check nl m with
+          | Cec.Diff cex ->
+            checkb
+              (Printf.sprintf "%s: cex for stuck node %d replays" name id)
+              true (replays nl m cex)
+          | Cec.Equal ->
+            (* redundant fault: simulation must agree *)
+            checkb
+              (Printf.sprintf "%s: node %d 'equal' is a redundant fault"
+                 name id)
+              true (Sim.equivalent nl m)
+          | Cec.Unknown _ ->
+            Alcotest.fail (name ^ ": mutation check exhausted budget"))
+        (mutation_targets nl))
+    Circuits.benchmark_names
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "iheap" `Quick test_iheap;
+          Alcotest.test_case "cdcl vs brute force" `Quick
+            test_cdcl_vs_brute_force;
+          Alcotest.test_case "determinism" `Quick test_solver_determinism;
+          Alcotest.test_case "assumptions + incremental" `Quick
+            test_assumptions_incremental;
+          Alcotest.test_case "budget + pigeonhole" `Quick test_budget_and_php;
+          Alcotest.test_case "dimacs" `Quick test_dimacs_roundtrip;
+        ] );
+      ( "cec",
+        [
+          Alcotest.test_case "aig strash + sim" `Quick test_aig_strash;
+          Alcotest.test_case "miter basics" `Quick test_cec_basic;
+          Alcotest.test_case "benchmarks + mutations" `Slow
+            test_cec_benchmarks_and_mutations;
+        ] );
+    ]
