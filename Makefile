@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: build test bench bench-quick bench-speedup clean
+.PHONY: build test bench bench-quick bench-speedup explain-all clean
 
 build:
 	dune build
@@ -22,6 +22,11 @@ bench-quick:
 # stages, with an identical-results check).
 bench-speedup:
 	dune exec bench/main.exe -- speedup quick
+
+# Dump the whole diagnostic-rule registry (one entry per rule id).
+# CI uses this as a smoke test that the registry is self-consistent.
+explain-all:
+	dune exec bin/superflow_cli.exe -- explain --all
 
 clean:
 	dune clean

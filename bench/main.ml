@@ -548,6 +548,86 @@ let equiv_study () =
   Table.print t;
   print_newline ()
 
+(* ---- absint study: the fast dataflow tier vs the AIG/SAT-backed
+   lints, and the constant-fold effect on the equivalence cones ----
+
+   Emits machine-readable BENCH_ABSINT lines (one JSON object per
+   line, next to BENCH_STAGE / BENCH_CACHE / BENCH_EQUIV): per-circuit
+   wall time of the five sf_absint passes against the fast and full
+   lint tiers, the finding count, and how much the ternary-constant
+   fold shrinks the live per-output cones the BDD/SAT engines would
+   traverse. *)
+
+let absint_json ~circuit ~absint_s ~fast_s ~full_s ~findings ~live_before
+    ~live_after =
+  Printf.printf
+    "BENCH_ABSINT {\"circuit\":\"%s\",\"absint_s\":%.4f,\"fast_lint_s\":%.4f,\"full_lint_s\":%.4f,\"findings\":%d,\"cone_live_before\":%d,\"cone_live_after\":%d,\"cone_shrink_pct\":%.1f}\n"
+    circuit absint_s fast_s full_s findings live_before live_after
+    (if live_before > 0 then
+       100.0 *. float_of_int (live_before - live_after)
+       /. float_of_int live_before
+     else 0.0)
+
+let absint_study () =
+  print_endline
+    "Extension: abstract-interpretation tier (sf_absint) vs the AIG/SAT \
+     lints, and cone constant-folding";
+  let circuits =
+    if quick then [ "adder8"; "decoder" ]
+    else [ "adder8"; "apc32"; "decoder"; "c432"; "c499"; "c1908" ]
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "circuit"; "absint (s)"; "fast lint (s)"; "full lint (s)";
+          "findings"; "cone live"; "after fold"; "shrink" ]
+  in
+  List.iter
+    (fun name ->
+      let aoi = Circuits.benchmark name in
+      let aqfp = Synth_flow.run_quiet aoi in
+      let rep, absint_s =
+        Wallclock.time (fun () -> Check.run (Absint_check.passes aqfp))
+      in
+      let _, fast_s =
+        Wallclock.time (fun () -> Lint.check ~tier:Check.Fast aqfp)
+      in
+      let _, full_s =
+        Wallclock.time (fun () -> Lint.check ~tier:Check.Full aqfp)
+      in
+      let findings = List.length rep.Check.diags in
+      (* cone-size effect of the ternary-constant fold, summed over
+         every primary output's extracted cone *)
+      let live_before = ref 0 and live_after = ref 0 in
+      List.iter
+        (fun oid ->
+          let c = Equiv.cone aqfp oid in
+          let _, st = Const_dom.fold c in
+          live_before := !live_before + st.Const_dom.live_before;
+          live_after := !live_after + st.Const_dom.live_after)
+        (Netlist.outputs aqfp);
+      absint_json ~circuit:name ~absint_s ~fast_s ~full_s ~findings
+        ~live_before:!live_before ~live_after:!live_after;
+      Table.add_row t
+        [
+          name;
+          Table.fmt_float ~dec:3 absint_s;
+          Table.fmt_float ~dec:3 fast_s;
+          Table.fmt_float ~dec:3 full_s;
+          Table.fmt_int findings;
+          Table.fmt_int !live_before;
+          Table.fmt_int !live_after;
+          Printf.sprintf "%.1f%%"
+            (if !live_before > 0 then
+               100.0
+               *. float_of_int (!live_before - !live_after)
+               /. float_of_int !live_before
+             else 0.0);
+        ])
+    circuits;
+  Table.print t;
+  print_newline ()
+
 let run_ablations () =
   timing_yield ();
   seed_stability ();
@@ -700,6 +780,7 @@ let () =
   speedup_table ();
   cache_study ();
   equiv_study ();
+  absint_study ();
   (* EXPERIMENTS.md from the same (memoized) measurements *)
   if not quick then begin
     let md = Report.experiments_markdown table_circuits in

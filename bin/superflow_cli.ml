@@ -43,6 +43,21 @@ let engine_of_string s =
   | Some e -> Ok e
   | None -> Error (Printf.sprintf "unknown engine %S (auto|bdd|sat)" s)
 
+(* An explicit --engine sat|auto opts into the Full check tier (the
+   AIG/SAT-backed lints); the default and --engine bdd stay on the
+   fast dataflow tier. *)
+let engine_tier_of_opt = function
+  | None -> Ok (`Auto, Check.Fast)
+  | Some s -> (
+      match engine_of_string s with
+      | Error _ as e -> e
+      | Ok e ->
+          Ok
+            ( e,
+              match e with
+              | `Sat | `Auto -> Check.Full
+              | `Bdd -> Check.Fast ))
+
 let exit_err msg =
   Format.eprintf "error: %s@." msg;
   exit 1
@@ -113,14 +128,14 @@ let stage_of_cli s =
   | Ok st -> st
   | Error e -> exit_err e
 
-let cmd_flow input placer_name router_name engine_name gds_out def_out svg_out
+let cmd_flow input placer_name router_name engine_opt gds_out def_out svg_out
     tech_file jobs check seed db_dir from_opt to_opt resume check_out =
   match
     ( load_input input,
       placer_of_string placer_name,
       router_of_string router_name,
       load_tech tech_file,
-      engine_of_string engine_name )
+      engine_tier_of_opt engine_opt )
   with
   | Error e, _, _, _, _
   | _, Error e, _, _, _
@@ -128,7 +143,7 @@ let cmd_flow input placer_name router_name engine_name gds_out def_out svg_out
   | _, _, _, Error e, _
   | _, _, _, _, Error e ->
       exit_err e
-  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok equiv_engine ->
+  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok (equiv_engine, check_tier) ->
       if db_dir = None && (from_opt <> None || resume) then
         exit_err "--from and --resume need a design database (--db DIR)";
       if resume then (
@@ -161,7 +176,8 @@ let cmd_flow input placer_name router_name engine_name gds_out def_out svg_out
       let staged =
         match
           Flow.run_staged ~tech ~algorithm ~router ?seed ?jobs ?db ~from_stage
-            ~to_stage ~equiv_engine ?gds_path:gds_out ?def_path:def_out aoi
+            ~to_stage ~equiv_engine ~check_tier ?gds_path:gds_out
+            ?def_path:def_out aoi
         with
         | Ok s -> s
         | Error d -> exit_err (Diag.to_string d)
@@ -238,14 +254,14 @@ let cmd_flow input placer_name router_name engine_name gds_out def_out svg_out
 
 (* ---- check ---- *)
 
-let cmd_check input placer_name router_name engine_name tech_file jobs db_dir
+let cmd_check input placer_name router_name engine_opt tech_file jobs db_dir
     json =
   match
     ( load_input input,
       placer_of_string placer_name,
       router_of_string router_name,
       load_tech tech_file,
-      engine_of_string engine_name )
+      engine_tier_of_opt engine_opt )
   with
   | Error e, _, _, _, _
   | _, Error e, _, _, _
@@ -253,7 +269,7 @@ let cmd_check input placer_name router_name engine_name tech_file jobs db_dir
   | _, _, _, Error e, _
   | _, _, _, _, Error e ->
       exit_err e
-  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok equiv_engine ->
+  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok (equiv_engine, check_tier) ->
       let db =
         match db_dir with
         | None -> None
@@ -263,8 +279,8 @@ let cmd_check input placer_name router_name engine_name tech_file jobs db_dir
             | Error d -> exit_err (Diag.to_string d))
       in
       let r =
-        Flow.run ~tech ~algorithm ~router ?jobs ~check:true ~equiv_engine ?db
-          aoi
+        Flow.run ~tech ~algorithm ~router ?jobs ~check:true ~equiv_engine
+          ~check_tier ?db aoi
       in
       let rep =
         match r.Flow.check_report with
@@ -352,7 +368,8 @@ let cmd_verify input_a input_b =
 
 (* ---- prove ---- *)
 
-let cmd_prove input_a input_b engine_name budget json =
+let cmd_prove input_a input_b engine_opt budget json =
+  let engine_name = Option.value engine_opt ~default:"auto" in
   match (load_input input_a, load_input input_b, engine_of_string engine_name)
   with
   | Error e, _, _ | _, Error e, _ | _, _, Error e -> exit_err e
@@ -423,6 +440,25 @@ let cmd_report input placer_name html_out jobs =
           close_out oc;
           Format.printf "HTML report written to %s@." path
       | None -> ())
+
+(* ---- explain ---- *)
+
+let cmd_explain id_opt all markdown =
+  if markdown then print_string (Rules.catalog_markdown ())
+  else if all then
+    List.iter
+      (fun r ->
+        match Rules.explain r.Rules.id with
+        | Ok s -> print_endline s
+        | Error e -> exit_err e)
+      Rules.all
+  else
+    match id_opt with
+    | None -> exit_err "explain: give a RULE-ID, or pass --all / --markdown"
+    | Some id -> (
+        match Rules.explain id with
+        | Ok s -> print_endline s
+        | Error e -> exit_err e)
 
 (* ---- tables ---- *)
 
@@ -536,9 +572,12 @@ let check_out_arg =
                or --to check).")
 
 let engine_arg =
-  Arg.(value & opt string "auto" & info [ "engine" ] ~docv:"ENGINE"
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE"
          ~doc:"Equivalence-proof engine: auto (BDD first, SAT on blow-up), \
-               bdd, or sat. Part of the synth stage's cache key.")
+               bdd, or sat. Part of the synth stage's cache key. Giving \
+               $(b,sat) or $(b,auto) explicitly also selects the $(b,full) \
+               check tier (AIG/SAT-backed lints); the default runs the fast \
+               dataflow tier with engine auto.")
 
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
@@ -615,6 +654,28 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Full design signoff report (area/wiring/timing/energy)")
     Term.(const cmd_report $ input_arg $ placer_arg $ html_arg $ jobs_arg)
 
+let explain_id_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"RULE-ID"
+         ~doc:"A diagnostic rule id, e.g. AI-PHASE-01 or NL-DEAD-01.")
+
+let explain_all_arg =
+  Arg.(value & flag & info [ "all" ]
+         ~doc:"Explain every registered rule, in id order.")
+
+let explain_markdown_arg =
+  Arg.(value & flag & info [ "markdown" ]
+         ~doc:"Emit the registry as the markdown rule-catalog table \
+               (what docs/ARCHITECTURE.md embeds).")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain a diagnostic rule id from the rule registry: severity, \
+             owning pass, and what the finding means. Exits 1 on an unknown \
+             id.")
+    Term.(const cmd_explain $ explain_id_arg $ explain_all_arg
+          $ explain_markdown_arg)
+
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's result tables")
     Term.(const cmd_tables $ circuits_arg)
@@ -627,8 +688,8 @@ let main =
   Cmd.group
     (Cmd.info "superflow" ~version:Flow.version
        ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
-    [ synth_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; timing_cmd;
-      report_cmd; sim_cmd; verify_cmd; prove_cmd; atpg_cmd; tables_cmd;
-      bench_list_cmd ]
+    [ synth_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; explain_cmd;
+      timing_cmd; report_cmd; sim_cmd; verify_cmd; prove_cmd; atpg_cmd;
+      tables_cmd; bench_list_cmd ]
 
 let () = exit (Cmd.eval main)

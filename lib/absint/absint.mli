@@ -1,0 +1,83 @@
+(** Generic monotone dataflow framework over the netlist DAG
+    ([sf_absint]).
+
+    SuperFlow's AQFP legality rests on global dataflow invariants —
+    fan-ins arriving in the same clock phase, splitter trees bounding
+    fan-out, no constant or unobservable logic left by synthesis.
+    This library proves such invariants in one linear-ish pass: a
+    domain supplies a {!LATTICE} (bottom element, join, equality) and
+    a transfer function; the {!Solver} schedules one transfer per
+    node over the DAG and returns the fixpoint fact array.
+
+    {b Determinism.} The worklist is organised as topological levels
+    (every node enters the worklist exactly once, at its dependency
+    depth — the DAG makes chaotic iteration unnecessary). Levels run
+    in order; inside a level the nodes are independent, so their
+    transfers shard over {!Parallel.map_chunks} with static chunk
+    boundaries, each lane writing only its own slots of the fact
+    array. A node's fact is therefore a pure function of the netlist,
+    never of the pool size: results are byte-identical at any
+    [--jobs] value.
+
+    Shipped domains: {!Const_dom} (ternary constants, [AI-CONST-01]),
+    {!Phase_dom} (phase-interval path balance, [AI-PHASE-01]),
+    {!Load_dom} (fanout-capacity intervals through splitter trees,
+    [AI-LOAD-01]), {!Obs_dom} (backward observability, consumed by
+    the [NL-DEAD-01]/[NL-INPUT-01] lints and [AI-OBS-01]) and
+    {!Polar_dom} (inversion parity, [AI-POLAR-01]). Every diagnostic
+    they emit carries a witness — the fan-in cone path that forces
+    the fact — rendered through {!Diag.t}'s witness channel. *)
+
+module type LATTICE = sig
+  type fact
+
+  val name : string
+  (** Stable domain name (used for cache keys and reports). *)
+
+  val bot : fact
+  (** The least element; every node starts here. *)
+
+  val equal : fact -> fact -> bool
+
+  val join : fact -> fact -> fact
+  (** Least upper bound. The solver visits each DAG node once, so
+      [join] is exercised inside transfer functions (merging
+      predecessor facts), not by re-visits. *)
+end
+
+module Solver (L : LATTICE) : sig
+  val forward :
+    Netlist.t -> transfer:(int -> L.fact array -> L.fact) -> L.fact array
+  (** [forward nl ~transfer] — facts flow with the signal direction:
+      [transfer id facts] may read [facts.(f)] for every fan-in [f]
+      of [id] (they are final when [id] is scheduled). Returns the
+      fact array indexed by node id. Raises [Failure] on a
+      combinational cycle (via {!Netlist.topo_order}). *)
+
+  val backward :
+    Netlist.t ->
+    fanouts:int list array ->
+    transfer:(int -> L.fact array -> L.fact) ->
+    L.fact array
+  (** [backward nl ~fanouts ~transfer] — facts flow against the
+      signal direction: [transfer id facts] may read the facts of
+      every consumer of [id] (pass {!Netlist.fanouts} so callers can
+      share the reverse adjacency). *)
+end
+
+(** {1 Witness rendering}
+
+    Witness steps print as [n<id>:<kind>] with the node's name
+    appended when present (e.g. [n12:maj"sum3"]), source first. *)
+
+val describe : Netlist.t -> int -> string
+(** One witness step for a node. *)
+
+val path_witness : Netlist.t -> int list -> string list
+(** Render a node-id path (given source-first) into witness steps. *)
+
+val chase : limit:int -> int -> (int -> int option) -> int list
+(** [chase ~limit start next] — follow [next] from [start] until it
+    returns [None] (or [limit] steps, a belt against accidental
+    cycles), returning the visited ids from [start] onward. Shared by
+    the domains' witness extraction. *)

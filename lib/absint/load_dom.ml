@@ -1,0 +1,73 @@
+(* Splitter-tree capacity intervals: [lo] observable sinks of [hi]
+   structural sinks delivered by each subtree. *)
+
+module L = struct
+  type fact = int * int
+
+  let name = "load"
+  let bot = (0, 0)
+  let equal = ( = )
+  let join (a, b) (c, d) = (a + c, b + d)  (* tree branches sum *)
+end
+
+module S = Absint.Solver (L)
+
+let is_splitter nl i =
+  match Netlist.kind nl i with Netlist.Splitter _ -> true | _ -> false
+
+let solve nl =
+  let obs = Obs_dom.solve nl in
+  let fanouts = Netlist.fanouts nl in
+  let transfer id facts =
+    if is_splitter nl id then
+      List.fold_left
+        (fun acc c ->
+          let contrib =
+            if is_splitter nl c then facts.(c)
+            else ((if obs.(c) = Obs_dom.Observable then 1 else 0), 1)
+          in
+          L.join acc contrib)
+        L.bot fanouts.(id)
+    else ((if obs.(id) = Obs_dom.Observable then 1 else 0), 1)
+  in
+  S.backward nl ~fanouts ~transfer
+
+(* Walk the tree from a wasted root down to one wasted sink. *)
+let wasted_path nl facts fanouts root =
+  let obs_sink c = fst facts.(c) >= snd facts.(c) in
+  let next i =
+    if not (is_splitter nl i) then None
+    else
+      let r = ref None in
+      List.iter
+        (fun c -> if !r = None && not (obs_sink c) then r := Some c)
+        fanouts.(i);
+      !r
+  in
+  Absint.chase ~limit:(Netlist.size nl) root next
+
+let check nl =
+  let facts = solve nl in
+  let fanouts = Netlist.fanouts nl in
+  let diags = ref [] in
+  Netlist.iter nl (fun nd ->
+      let i = nd.Netlist.id in
+      match nd.Netlist.kind with
+      | Netlist.Splitter k ->
+          let driver_is_splitter =
+            Array.length nd.Netlist.fanins > 0
+            && is_splitter nl nd.Netlist.fanins.(0)
+          in
+          let lo, hi = facts.(i) in
+          if (not driver_is_splitter) && lo < hi then
+            diags :=
+              Diag.warning
+                ~witness:
+                  (Absint.path_witness nl (wasted_path nl facts fanouts i))
+                ~rule:"AI-LOAD-01" (Diag.Node i)
+                "splitter tree (root arity %d) delivers %d sink(s) but only \
+                 %d provably affect(s) an output — capacity wasted"
+                k hi lo
+              :: !diags
+      | _ -> ());
+  List.rev !diags

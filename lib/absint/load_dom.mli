@@ -1,0 +1,26 @@
+(** Fanout-capacity intervals through splitter trees.
+
+    AQFP bounds every gate's fan-out at 1; larger fan-outs are served
+    by trees of 2..4-way splitter cells. This backward dataflow
+    computes, for every node, the interval [[lo, hi]] of sinks its
+    splitter subtree delivers:
+
+    - [hi] — the structural count: real (non-splitter) consumers
+      reachable through pure splitter chains;
+    - [lo] — the provably-useful count: those of the [hi] sinks that
+      are {!Obs_dom.Observable} (they actually affect an output).
+
+    A legal, tight insertion yields [lo = hi] everywhere. [AI-LOAD-01]
+    (warning) fires on every splitter-tree {e root} (a splitter whose
+    driver is not itself a splitter) with [lo < hi]: part of the
+    tree's capacity is provably wasted on sinks that cannot affect
+    any output — a strictly tree-transitive upgrade of the node-local
+    [NL-FANOUT-01] arity check. The witness walks the tree down to a
+    wasted sink. *)
+
+val solve : Netlist.t -> (int * int) array
+(** Delivered-sink interval [(lo, hi)] per node id ([(0, 1)] or
+    [(1, 1)] for non-splitter nodes: themselves as a sink). *)
+
+val check : Netlist.t -> Diag.t list
+(** The [AI-LOAD-01] findings, in node-id order. *)

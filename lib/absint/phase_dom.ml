@@ -1,0 +1,85 @@
+(* Phase-arrival intervals: structural path-balance proof. *)
+
+module L = struct
+  type fact = int * int
+
+  let name = "phase"
+
+  (* bot is never observed by a transfer (sources have no fan-ins) *)
+  let bot = (max_int, min_int)
+  let equal = ( = )
+  let join (lo1, hi1) (lo2, hi2) = (min lo1 lo2, max hi1 hi2)
+end
+
+module S = Absint.Solver (L)
+
+let transfer nl id facts =
+  let f = Netlist.fanins nl id in
+  match Netlist.kind nl id with
+  | Netlist.Input | Netlist.Const _ -> (0, 0)
+  | Netlist.Output -> facts.(f.(0))  (* marker, not a gate *)
+  | _ ->
+      let hull = ref facts.(f.(0)) in
+      Array.iter (fun fi -> hull := L.join !hull facts.(fi)) f;
+      let lo, hi = !hull in
+      (lo + 1, hi + 1)
+
+let solve nl = S.forward nl ~transfer:(fun id facts -> transfer nl id facts)
+
+(* Longest arrival chain from a primary input/constant down to [id]:
+   at each step, the leftmost fan-in on a critical (hi-preserving)
+   path. *)
+let longest_chain nl facts id =
+  let next i =
+    let f = Netlist.fanins nl i in
+    if Array.length f = 0 then None
+    else begin
+      let _, hi = facts.(i) in
+      let want = match Netlist.kind nl i with Netlist.Output -> hi | _ -> hi - 1 in
+      let r = ref f.(0) in
+      (try
+         Array.iter
+           (fun fi ->
+             if snd facts.(fi) = want then begin
+               r := fi;
+               raise Exit
+             end)
+           f
+       with Exit -> ());
+      Some !r
+    end
+  in
+  List.rev (Absint.chase ~limit:(Netlist.size nl) id next)
+
+let check nl =
+  let facts = solve nl in
+  let diags = ref [] in
+  Netlist.iter nl (fun nd ->
+      let i = nd.Netlist.id in
+      let f = nd.Netlist.fanins in
+      if Array.length f >= 2 && nd.Netlist.kind <> Netlist.Output then begin
+        let all_singleton =
+          Array.for_all (fun fi -> fst facts.(fi) = snd facts.(fi)) f
+        in
+        if all_singleton then begin
+          (* earliest reconvergence: balanced fan-in cones arriving at
+             different phases *)
+          let late = ref f.(0) and early = ref f.(0) in
+          Array.iter
+            (fun fi ->
+              if snd facts.(fi) > snd facts.(!late) then late := fi;
+              if snd facts.(fi) < snd facts.(!early) then early := fi)
+            f;
+          if snd facts.(!late) <> snd facts.(!early) then
+            diags :=
+              Diag.error
+                ~witness:(Absint.path_witness nl (longest_chain nl facts i))
+                ~rule:"AI-PHASE-01" (Diag.Node i)
+                "unbalanced reconvergence: fanin %d arrives at phase %d but \
+                 fanin %d at phase %d (%s gate needs all fan-ins in one phase)"
+                !late (snd facts.(!late)) !early (snd facts.(!early))
+                (Netlist.kind_name nd.Netlist.kind)
+              :: !diags
+        end
+      end);
+  List.rev !diags

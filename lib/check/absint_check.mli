@@ -1,0 +1,35 @@
+(** The [sf_absint] dataflow analyses packaged as {!Check} passes.
+
+    Five passes, in fixed order:
+    - [absint-const] — ternary constant propagation ([AI-CONST-01]);
+    - [absint-phase] — phase-interval balance ([AI-PHASE-01]);
+    - [absint-obs] — backward observability ([AI-OBS-01]);
+    - [absint-load] — splitter-tree capacity ([AI-LOAD-01]);
+    - [absint-polar] — inversion parity ([AI-POLAR-01]).
+
+    Every diagnostic carries a witness path. The passes need a
+    structurally sound, acyclic netlist; on a broken structure they
+    return no findings (the structural lints already gate the run).
+
+    Results can be memoized through a {!cache} keyed by
+    ["absint1:<domain>:" ^ Netlist.struct_hash nl] — the flow wires
+    this to [sf_db]'s proof store, so a warm rerun re-solves
+    nothing. A cache hit and a fresh solve render byte-identically. *)
+
+type cache = {
+  find : string -> Diag.t list option;
+  store : string -> Diag.t list -> unit;
+}
+(** Diagnostic memo. Like {!Equiv.cache}, the checker stays decoupled
+    from [sf_db]; the flow supplies an implementation backed by it. *)
+
+val domains : string list
+(** The domain names in pass order:
+    [["const"; "phase"; "obs"; "load"; "polar"]]. *)
+
+val cache_key : domain:string -> Netlist.t -> string
+(** The memo key for one domain's findings on one netlist. *)
+
+val passes : ?cache:cache -> Netlist.t -> Check.pass list
+(** The five passes over [nl], each consulting (and filling) the
+    cache when one is given. *)

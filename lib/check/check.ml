@@ -1,3 +1,7 @@
+type tier = Fast | Full
+
+let tier_name = function Fast -> "fast" | Full -> "full"
+
 type pass = { name : string; run : unit -> Diag.t list }
 
 let pass name run = { name; run }
@@ -5,9 +9,13 @@ let of_diags name diags = { name; run = (fun () -> diags) }
 
 type pass_stat = { pass_name : string; n_diags : int; seconds : float }
 
-type report = { diags : Diag.t list; stats : pass_stat list }
+type report = {
+  header : (string * string) list;
+  diags : Diag.t list;
+  stats : pass_stat list;
+}
 
-let run passes =
+let run ?(header = []) passes =
   let stats = ref [] and diags = ref [] in
   List.iter
     (fun p ->
@@ -24,7 +32,7 @@ let run passes =
         { pass_name = p.name; n_diags = List.length ds; seconds } :: !stats;
       diags := List.rev_append ds !diags)
     passes;
-  { diags = List.rev !diags; stats = List.rev !stats }
+  { header; diags = List.rev !diags; stats = List.rev !stats }
 
 let errors r = Diag.count Diag.Error r.diags
 let warnings r = Diag.count Diag.Warning r.diags
@@ -39,6 +47,9 @@ let summary_line r =
 let render_text r =
   let buf = Buffer.create 256 in
   List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "# %s: %s\n" k v))
+    r.header;
+  List.iter
     (fun d ->
       Buffer.add_string buf (Diag.to_string d);
       Buffer.add_char buf '\n')
@@ -49,6 +60,13 @@ let render_text r =
 
 let render_json r =
   let buf = Buffer.create 256 in
+  if r.header <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "{\"header\":{%s}}\n"
+         (String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%S:%S" k v)
+               r.header)));
   List.iter
     (fun d ->
       Buffer.add_string buf (Diag.to_json d);

@@ -19,6 +19,16 @@
     The flow driver ([Flow.run ~check:true]) and the [superflow
     check] CLI subcommand assemble these into the standard gate. *)
 
+type tier = Fast | Full
+(** Engine tier of a gate run. [Fast] (the default flow tier) runs
+    the always-on analyses — the [sf_absint] dataflow passes included
+    — and skips the AIG/SAT-backed lints; [Full] (selected by
+    [--engine sat|auto]) adds them. The tier is recorded in the
+    report {!report.header}. *)
+
+val tier_name : tier -> string
+(** ["fast"] / ["full"]. *)
+
 type pass
 
 val pass : string -> (unit -> Diag.t list) -> pass
@@ -35,14 +45,18 @@ type pass_stat = {
 }
 
 type report = {
+  header : (string * string) list;
+      (** deterministic key/value context rendered before the
+          diagnostics (e.g. [("tier", "fast"); ("engine", "auto")]) *)
   diags : Diag.t list;  (** all diagnostics, in pass order *)
   stats : pass_stat list;  (** one entry per pass, in run order *)
 }
 
-val run : pass list -> report
+val run : ?header:(string * string) list -> pass list -> report
 (** Run every pass in order, timing each. A pass that raises is
     converted into a single [CHECK-CRASH-01] error diagnostic rather
-    than aborting the pipeline. *)
+    than aborting the pipeline. [header] (default empty) is carried
+    into the report verbatim. *)
 
 val errors : report -> int
 val warnings : report -> int

@@ -133,9 +133,15 @@ let check_pair ?(engine = `Auto) ?(max_nodes = 100_000)
     let n = Array.length outs_b in
     (* cones are extracted (and the cache consulted) serially: the
        netlist is mutable and the cache does I/O, neither belongs in a
-       worker lane *)
+       worker lane. Each cone is constant-folded with the absint
+       ternary facts first — sound (folding preserves the function),
+       and it shrinks both the proof and the cache key's sensitivity
+       to dead constant cones. *)
+    let folded c = fst (Const_dom.fold c) in
     let cones =
-      Array.init n (fun i -> (cone before outs_b.(i), cone after outs_a.(i)))
+      Array.init n (fun i ->
+          ( folded (cone before outs_b.(i)),
+            folded (cone after outs_a.(i)) ))
     in
     let keys =
       match cache with

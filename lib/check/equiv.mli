@@ -23,11 +23,17 @@
     diagnostic, never as a fake difference. Verdicts are combined in
     output order, so the report is byte-identical at any pool size.
 
+    Before any engine runs, each extracted cone is constant-folded
+    with the [sf_absint] ternary facts ({!Const_dom.fold}) — sound
+    (folding preserves the cone's function) and strictly
+    proof-shrinking: constants cut BDD variables and SAT clauses
+    alike, and the cache key is computed over the folded cone.
+
     Proven verdicts can be memoized through a {!cache} (the flow
-    wires this to [sf_db]); keys are content hashes of the two cones,
-    so a warm rerun re-proves nothing. Cache lookups and stores run
-    outside the parallel region and never affect the emitted
-    diagnostics.
+    wires this to [sf_db]); keys are content hashes of the two folded
+    cones, so a warm rerun re-proves nothing. Cache lookups and
+    stores run outside the parallel region and never affect the
+    emitted diagnostics.
 
     Rule catalog:
     - [EQ-ARITY-01] (error) — primary input/output counts differ;

@@ -23,7 +23,7 @@ let fanout_counts_parallel nl =
     parts;
   total
 
-let check nl =
+let check ?(tier = Check.Full) nl =
   let structural = Netlist.validate_diags nl in
   let diags = ref [] in
   let push d = diags := d :: !diags in
@@ -41,8 +41,10 @@ let check nl =
           | None -> Hashtbl.add seen name nd.Netlist.id));
   (* AIG-backed lints: structural hashing + constant propagation find
      redundant and degenerate logic. Conversion needs a structurally
-     sound netlist (in-range fan-ins, correct arities, no cycles). *)
-  if structural = [] then begin
+     sound netlist (in-range fan-ins, correct arities, no cycles), and
+     the [Fast] tier skips it — the absint constant pass (AI-CONST-01)
+     covers degenerate logic at a fraction of the cost. *)
+  if structural = [] && tier = Check.Full then begin
     let aig = Aig.create ~n_inputs:(List.length (Netlist.inputs nl)) in
     let lits = Aig.add_netlist aig nl in
     (* two gates computing the same AIG literal from the same fan-ins
@@ -81,8 +83,39 @@ let check nl =
                (l land 1)))
       (Netlist.outputs nl)
   end;
-  (* liveness (needs in-range fanin ids; skip when structure is broken) *)
-  if not (List.exists (fun d -> d.Diag.rule = "NL-DANGLE-01") structural) then begin
+  (* liveness: with a sound structure, backward observability upgrades
+     NL-DEAD-01 from "has no consumers" to "provably does not affect
+     any primary output" and ships the chain to the dead end as a
+     witness. Broken structure falls back to the plain fan-out scan. *)
+  if structural = [] then begin
+    let facts = Obs_dom.solve nl in
+    Netlist.iter nl (fun nd ->
+        let i = nd.Netlist.id in
+        match (nd.Netlist.kind, facts.(i)) with
+        | Netlist.Output, _ -> ()
+        | Netlist.Input, Obs_dom.Dead None ->
+            push
+              (Diag.info ~rule:"NL-INPUT-01" (Diag.Node i)
+                 "primary input%s is never used"
+                 (match nd.Netlist.name with
+                 | Some n -> Printf.sprintf " %S" n
+                 | None -> ""))
+        | Netlist.Input, _ -> ()
+        | k, Obs_dom.Dead via ->
+            push
+              (Diag.warning
+                 ~witness:(Obs_dom.witness nl facts i)
+                 ~rule:"NL-DEAD-01" (Diag.Node i)
+                 "dead logic: %s node provably does not affect any output%s"
+                 (Netlist.kind_name k)
+                 (match via with
+                 | None -> " (no consumers)"
+                 | Some _ -> " (all paths dead-end)"))
+        | _ -> ())
+  end
+  else if
+    not (List.exists (fun d -> d.Diag.rule = "NL-DANGLE-01") structural)
+  then begin
     let counts = fanout_counts_parallel nl in
     Netlist.iter nl (fun nd ->
         if counts.(nd.Netlist.id) = 0 then

@@ -16,17 +16,23 @@
       job);
     - [NL-CONST-01] (warning) — a primary output is provably constant
       after AIG constant propagation;
-    - [NL-DEAD-01] (warning) — a logic node computes a value nobody
-      consumes (dead logic);
+    - [NL-DEAD-01] (warning) — dead logic: backward observability
+      ({!Obs_dom}) proves the node reaches no primary output, with
+      the forward chain to the dead end as the diagnostic witness;
     - [NL-INPUT-01] (info) — an unused primary input;
     - [NL-OUT-01] (warning) — the netlist has no primary outputs.
 
     The duplicate/constant rules ride on [sf_sat]'s structurally
-    hashed {!Aig} and only run when the netlist is structurally sound
-    (no [NL-ARITY-01]/[NL-DANGLE-01]/[NL-CYCLE-01]).
+    hashed {!Aig}; they only run when the netlist is structurally
+    sound (no [NL-ARITY-01]/[NL-DANGLE-01]/[NL-CYCLE-01]) {e and} the
+    tier is {!Check.Full} — the [Fast] tier leans on the [sf_absint]
+    constant pass ([AI-CONST-01]) instead, which finds the same
+    degenerate logic without building the AIG.
 
     Fanout counting is sharded over {!Parallel} chunks with a
     deterministic combine, so large netlists lint at full core
     count with byte-identical reports. *)
 
-val check : Netlist.t -> Diag.t list
+val check : ?tier:Check.tier -> Netlist.t -> Diag.t list
+(** [check ?tier nl] — default tier is [Full] (the standalone-lint
+    behaviour); the flow gate passes its own tier through. *)

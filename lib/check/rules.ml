@@ -1,0 +1,188 @@
+(* The rule registry. Keep sorted by id; the CI meta-lint greps every
+   rule-id-shaped string out of lib/ and fails when one is missing
+   here, and [self_check] fails on duplicates / unsorted entries. *)
+
+type entry = {
+  id : string;
+  severity : Diag.severity;
+  pass : string;
+  doc : string;
+}
+
+let e id severity pass doc = { id; severity; pass; doc }
+
+let all =
+  [
+    e "AI-CONST-01" Diag.Warning "absint-const"
+      "Ternary-constant dataflow proves a net constant: a logic gate is \
+       forced to 0/1 while a fan-in is still unknown (its cone is wasted), \
+       or a primary output is constant. Witness: the forcing chain from the \
+       constant generator.";
+    e "AI-LOAD-01" Diag.Warning "absint-load"
+      "A splitter tree's capacity interval shows provably wasted fan-out: \
+       some delivered sinks cannot affect any output. Witness: the tree \
+       path down to a wasted sink.";
+    e "AI-OBS-01" Diag.Warning "absint-obs"
+      "Backward observability proves a gate cannot affect any primary \
+       output: every path runs through a constant-valued (blocking) gate. \
+       Witness: the path to the nearest blocking gate.";
+    e "AI-PHASE-01" Diag.Error "absint-phase"
+      "Phase-interval analysis found the earliest unbalanced reconvergence: \
+       two fan-in cones of one gate arrive at different clock phases. \
+       Witness: the longest arrival chain from a primary input.";
+    e "AI-POLAR-01" Diag.Warning "absint-polar"
+      "Inversion-parity tracking found a cancelling inverter pair along one \
+       buffer chain — AQFP inversion is free, so the pair is pure area and \
+       phase waste. Witness: the chain from the nearest logic root.";
+    e "AQFP-FANOUT-01" Diag.Error "aqfp"
+      "A non-splitter cell drives more than one consumer; AQFP fan-out is 1 \
+       and larger fan-outs need a splitter tree.";
+    e "AQFP-KIND-01" Diag.Error "aqfp"
+      "A non-majority gate (nand/nor/xor/xnor) survived majority synthesis.";
+    e "AQFP-PHASE-00" Diag.Error "aqfp"
+      "A node's clock phase is unset — levelize never ran on this netlist.";
+    e "AQFP-PHASE-01" Diag.Error "aqfp"
+      "A gate's fan-in does not sit exactly one clock phase above it \
+       (gate-level-pipelining violation after buffer insertion).";
+    e "AQFP-PHASE-02" Diag.Error "aqfp"
+      "A primary output retires before the design's last clock phase \
+       (unbalanced output).";
+    e "AQFP-SPLIT-01" Diag.Error "aqfp"
+      "A splitter's arity is outside the cell library's 2..4 range.";
+    e "CHECK-CRASH-01" Diag.Error "check"
+      "A verification pass raised an exception; the pipeline continued and \
+       reports the crash as this single diagnostic.";
+    e "DB-CKSUM-01" Diag.Error "sf_db"
+      "A stored artifact's MD5 checksum does not match its payload (bit rot \
+       or a torn write); the entry self-heals by recomputation.";
+    e "DB-DIR-01" Diag.Error "sf_db"
+      "The database path exists but is not an sf_db directory.";
+    e "DB-FROM-01" Diag.Error "flow"
+      "--from asserts earlier stages are already cached, but a required \
+       stage is missing from the database.";
+    e "DB-IO-01" Diag.Error "sf_db" "An object or manifest file failed to read/write.";
+    e "DB-KIND-01" Diag.Error "sf_db"
+      "A stored frame carries the wrong artifact kind tag for the slot it \
+       was loaded into.";
+    e "DB-MAGIC-01" Diag.Error "sf_db" "A stored frame does not start with the SFDB magic.";
+    e "DB-PARSE-01" Diag.Error "sf_db" "A stored frame's payload failed structural decoding.";
+    e "DB-RANGE-01" Diag.Error "flow"
+      "--from/--to form an empty or unusable stage range (or --from was \
+       given without a database).";
+    e "DB-SLOT-01" Diag.Error "sf_db" "A stage manifest is missing a required output slot.";
+    e "DB-TRUNC-01" Diag.Error "sf_db" "A stored frame is shorter than its declared length.";
+    e "DB-VERSION-01" Diag.Error "sf_db"
+      "A stored frame's format version does not match this build (stale \
+       cache after a codec bump).";
+    e "DRC-CELL-OVERLAP" Diag.Error "drc" "Two placed cells overlap.";
+    e "DRC-CELL-SPACING" Diag.Error "drc" "Two cells sit closer than the minimum spacing.";
+    e "DRC-DENSITY" Diag.Error "drc" "A window's metal density exceeds the process limit.";
+    e "DRC-OFF-GRID" Diag.Error "drc" "A shape is off the manufacturing grid.";
+    e "DRC-VIA-ALIGNMENT" Diag.Error "drc" "A via is not aligned with both its wire layers.";
+    e "DRC-WIRE-OVERLAP" Diag.Error "drc" "Two same-layer wires of different nets overlap.";
+    e "DRC-WIRE-SPACING" Diag.Error "drc"
+      "Two same-layer wires sit closer than the minimum spacing.";
+    e "DRC-ZIGZAG-SPACING" Diag.Error "drc"
+      "Zig-zag wire segments violate the bent-wire spacing rule.";
+    e "EQ-ARITY-01" Diag.Error "equiv"
+      "The two netlists being compared have different primary input/output \
+       counts; no per-output proof was attempted.";
+    e "EQ-CEX-01" Diag.Error "equiv"
+      "Internal error: an engine returned a counterexample that does not \
+       replay through simulation.";
+    e "EQ-DIFF-01" Diag.Error "equiv"
+      "An output provably differs between the two netlists; the message \
+       carries the replayed counterexample input vector.";
+    e "EQ-DIFF-02" Diag.Error "equiv"
+      "An output differs under the random-simulation fallback (no complete \
+       engine finished).";
+    e "EQ-FALLBACK-01" Diag.Warning "equiv"
+      "The BDD node budget was exceeded and no complete engine took over; \
+       equivalence was only sampled, not proven.";
+    e "EQ-TIMEOUT-01" Diag.Warning "equiv"
+      "The SAT conflict budget was exhausted for an output; equivalence was \
+       only sampled, not proven.";
+    e "LVS-FLOAT-01" Diag.Warning "lvs" "Drawn metal touches no pin of any net.";
+    e "LVS-OPEN-01" Diag.Error "lvs"
+      "No drawn path connects a net's driver pin to its sink pin.";
+    e "LVS-SHORT-01" Diag.Error "lvs"
+      "One connected component of drawn metal touches pins of more than one \
+       net.";
+    e "LVS-SWAP-01" Diag.Error "lvs" "A driver is wired to another net's sink.";
+    e "NL-ARITY-01" Diag.Error "lint" "A gate's fan-in count does not match its kind.";
+    e "NL-CONST-01" Diag.Warning "lint"
+      "A primary output is provably constant (AIG constant propagation on \
+       the sf_sat engine; the cheap dataflow tier reports AI-CONST-01 \
+       instead).";
+    e "NL-CYCLE-01" Diag.Error "lint" "The netlist has a combinational cycle.";
+    e "NL-DANGLE-01" Diag.Error "lint" "A fan-in references a node id that does not exist.";
+    e "NL-DEAD-01" Diag.Warning "lint"
+      "Dead logic: backward observability proves the node reaches no \
+       primary output. Witness: the chain forward to the dead end.";
+    e "NL-DUP-01" Diag.Warning "lint"
+      "A gate recomputes the same function of the same fan-ins as an \
+       earlier gate (structural AIG duplicate).";
+    e "NL-FANOUT-01" Diag.Error "lint"
+      "A k-way splitter's real consumer count differs from k.";
+    e "NL-INPUT-01" Diag.Info "lint" "A primary input is never used.";
+    e "NL-NAME-01" Diag.Warning "lint" "Two nodes carry the same name.";
+    e "NL-OUT-01" Diag.Warning "lint" "The netlist has no primary outputs.";
+    e "PL-CAP-01" Diag.Warning "place"
+      "A row's total cell demand exceeds the die width.";
+    e "PL-GRID-01" Diag.Error "place" "A placed cell's x position is off the placement grid.";
+    e "PL-INDEX-01" Diag.Error "place"
+      "A cell's row index disagrees with the row that contains it.";
+    e "PL-NEG-01" Diag.Error "place" "A placed cell has a negative x position.";
+    e "PL-OVERLAP-01" Diag.Error "place" "Two placed cells in one row overlap.";
+    e "PL-ROW-01" Diag.Error "place"
+      "A cell's placement row differs from its clock phase (AQFP rows are \
+       phases).";
+    e "PL-SPACING-01" Diag.Error "place"
+      "Two cells in one row sit closer than the minimum spacing.";
+    e "RT-CONN-01" Diag.Error "route" "A routed net does not connect its pins.";
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let explain id =
+  match find id with
+  | None -> Error (Printf.sprintf "unknown rule id %S" id)
+  | Some r ->
+      Ok
+        (Printf.sprintf "%s (%s, pass %s)\n  %s" r.id
+           (Diag.severity_name r.severity)
+           r.pass r.doc)
+
+let catalog_markdown () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "| rule | severity | pass | meaning |\n|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| `%s` | %s | `%s` | %s |\n" r.id
+           (Diag.severity_name r.severity)
+           r.pass r.doc))
+    all;
+  Buffer.contents buf
+
+let self_check () =
+  let problems = ref [] in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if a.id = b.id then
+          problems := Printf.sprintf "duplicate rule id %s" a.id :: !problems
+        else if a.id > b.id then
+          problems :=
+            Printf.sprintf "registry unsorted at %s > %s" a.id b.id
+            :: !problems;
+        scan rest
+    | _ -> ()
+  in
+  scan all;
+  List.iter
+    (fun r ->
+      if String.trim r.doc = "" then
+        problems := Printf.sprintf "rule %s has no doc" r.id :: !problems)
+    all;
+  List.rev !problems

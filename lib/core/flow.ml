@@ -33,20 +33,23 @@ let diags_of_drc violations =
         "%s" v.Drc.detail)
     violations
 
-let check_passes r =
+let check_passes ?(tier = Check.Fast) ?absint_cache r =
   [
-    Check.pass "lint" (fun () -> Lint.check r.aqfp_netlist);
-    Check.pass "aqfp" (fun () -> Aqfp_check.check r.aqfp_netlist);
-    Check.of_diags "equiv" r.synth_report.Synth_flow.guard_diags;
-    Check.pass "place" (fun () -> Place_audit.check r.aqfp_netlist r.problem);
-    Check.pass "route" (fun () ->
-        match Router.check_routes r.problem r.routing with
-        | Ok () -> []
-        | Error e ->
-            [ Diag.error ~rule:"RT-CONN-01" Diag.Global "%s" e ]);
-    Check.of_diags "drc" (diags_of_drc r.violations);
-    Check.pass "lvs" (fun () -> Lvs.check r.problem r.layout);
+    Check.pass "lint" (fun () -> Lint.check ~tier r.aqfp_netlist);
   ]
+  @ Absint_check.passes ?cache:absint_cache r.aqfp_netlist
+  @ [
+      Check.pass "aqfp" (fun () -> Aqfp_check.check r.aqfp_netlist);
+      Check.of_diags "equiv" r.synth_report.Synth_flow.guard_diags;
+      Check.pass "place" (fun () -> Place_audit.check r.aqfp_netlist r.problem);
+      Check.pass "route" (fun () ->
+          match Router.check_routes r.problem r.routing with
+          | Ok () -> []
+          | Error e ->
+              [ Diag.error ~rule:"RT-CONN-01" Diag.Global "%s" e ]);
+      Check.of_diags "drc" (diags_of_drc r.violations);
+      Check.pass "lvs" (fun () -> Lvs.check r.problem r.layout);
+    ]
 
 let version = "0.1.0"
 
@@ -102,7 +105,7 @@ type staged = {
 
 (* engine format tag: part of every cache key, so changing the stage
    graph (not just one codec) invalidates the whole cache *)
-let graph_version = "sf-flow-graph-2"
+let graph_version = "sf-flow-graph-3"
 
 exception Stage_failed of Diag.t
 
@@ -125,7 +128,8 @@ let put db codec v = Db.put_object db (codec.Artifact.encode v)
 
 let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     ?(router = Router.Sequential) ?(seed = 1) ?jobs ?db ?(from_stage = Synth)
-    ?(to_stage = Layout) ?(equiv_engine = `Auto) ?gds_path ?def_path aoi =
+    ?(to_stage = Layout) ?(equiv_engine = `Auto) ?(check_tier = Check.Fast)
+    ?gds_path ?def_path aoi =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   (* running "to check" switches the synthesis equivalence guards on,
      exactly like [run ~check:true] *)
@@ -140,6 +144,28 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
           {
             Equiv.find = (fun k -> Db.find_proof dbh ~key:k);
             store = (fun k v -> Db.put_proof dbh ~key:k v);
+          }
+    | _ -> None
+  in
+  (* the absint dataflow findings memoize through the same proof
+     store, keyed by the netlist's structural hash; decode failures
+     (stale codec) degrade to a recompute-and-overwrite *)
+  let absint_cache =
+    match db with
+    | Some dbh when guard ->
+        Some
+          {
+            Absint_check.find =
+              (fun k ->
+                match Db.find_proof dbh ~key:k with
+                | None -> None
+                | Some s -> (
+                    match Artifact.diags.Artifact.decode s with
+                    | Ok ds -> Some ds
+                    | Error _ -> None));
+            store =
+              (fun k ds ->
+                Db.put_proof dbh ~key:k (Artifact.diags.Artifact.encode ds));
           }
     | _ -> None
   in
@@ -482,13 +508,21 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                         shash s_route "routing";
                         shash s_route "drc";
                         shash s_layout "layout";
+                        "tier-" ^ Check.tier_name check_tier;
                       ]
                   | _ -> assert false)
                 ~load:(fun db slots _ ->
                   load_obj db Artifact.check_report slots "report")
                 ~store:(fun db rep ->
                   ([ ("report", put db Artifact.check_report rep) ], []))
-                ~compute:(fun () -> Check.run (check_passes r0))
+                ~compute:(fun () ->
+                  Check.run
+                    ~header:
+                      [
+                        ("tier", Check.tier_name check_tier);
+                        ("engine", Equiv.engine_name equiv_engine);
+                      ]
+                    (check_passes ~tier:check_tier ?absint_cache r0))
             in
             Some report
         | _ -> None
@@ -519,32 +553,32 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     with Stage_failed d -> Error d
   end
 
-let run ?tech ?algorithm ?router ?seed ?jobs ?(check = false) ?equiv_engine ?db
-    ?gds_path ?def_path aoi =
+let run ?tech ?algorithm ?router ?seed ?jobs ?(check = false) ?equiv_engine
+    ?check_tier ?db ?gds_path ?def_path aoi =
   match
     run_staged ?tech ?algorithm ?router ?seed ?jobs ?db
       ~to_stage:(if check then Check else Layout)
-      ?equiv_engine ?gds_path ?def_path aoi
+      ?equiv_engine ?check_tier ?gds_path ?def_path aoi
   with
   | Ok { result = Some r; _ } -> r
   | Ok _ -> assert false (* to_stage >= Layout always yields a result *)
   | Error d -> failwith (Diag.to_string d)
 
-let run_verilog ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
-    ?gds_path ?def_path source =
+let run_verilog ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
+    ?check_tier ?db ?gds_path ?def_path source =
   match Verilog.parse source with
   | Error e -> Error e
   | Ok aoi ->
-      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
-            ?gds_path ?def_path aoi)
+      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
+            ?check_tier ?db ?gds_path ?def_path aoi)
 
-let run_bench_file ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
-    ?gds_path ?def_path path =
+let run_bench_file ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
+    ?check_tier ?db ?gds_path ?def_path path =
   match Bench_parser.parse_file path with
   | Error e -> Error e
   | Ok aoi ->
-      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine ?db
-            ?gds_path ?def_path aoi)
+      Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
+            ?check_tier ?db ?gds_path ?def_path aoi)
 
 let pp_summary ppf r =
   let s = Layout.stats r.layout in

@@ -37,12 +37,19 @@ type result = {
   times : times;
 }
 
-val check_passes : result -> Check.pass list
+val check_passes :
+  ?tier:Check.tier ->
+  ?absint_cache:Absint_check.cache ->
+  result ->
+  Check.pass list
 (** The standard verification pipeline over a finished flow result —
     what [run ~check:true] and [superflow check] execute: [lint],
-    [aqfp], [equiv] (from the synthesis guards), [place], [route],
-    [drc], [lvs], in that order. Exposed so callers can re-run or
-    extend the gate. *)
+    the five [absint-*] dataflow passes, [aqfp], [equiv] (from the
+    synthesis guards), [place], [route], [drc], [lvs], in that
+    order. [tier] (default [Check.Fast]) gates the AIG/SAT-backed
+    lints; [absint_cache] memoizes the dataflow findings (the flow
+    wires it to the database's proof store). Exposed so callers can
+    re-run or extend the gate. *)
 
 (** {1 The stage graph}
 
@@ -108,6 +115,7 @@ val run_staged :
   ?from_stage:stage ->
   ?to_stage:stage ->
   ?equiv_engine:Equiv.engine ->
+  ?check_tier:Check.tier ->
   ?gds_path:string ->
   ?def_path:string ->
   Netlist.t ->
@@ -127,7 +135,12 @@ val run_staged :
     [equiv_engine] (default [`Auto]) selects the guard's proof engine
     ({!Equiv.engine}) and participates in the [synth] cache key, and
     when [db] is attached the individual cone proofs memoize into the
-    database's proof cache ({!Db.put_proof}). Errors: [DB-RANGE-01]
+    database's proof cache ({!Db.put_proof}). [check_tier] (default
+    [Check.Fast]) selects the gate's tier — [Fast] leans on the
+    [sf_absint] dataflow passes, [Full] adds the AIG/SAT-backed lints
+    — participates in the [check] cache key, and is recorded in the
+    report header; the absint findings memoize into the proof cache
+    keyed by the netlist's structural hash. Errors: [DB-RANGE-01]
     when [from_stage] is after [to_stage] or [from_stage] is given
     without [db]. *)
 
@@ -139,6 +152,7 @@ val run :
   ?jobs:int ->
   ?check:bool ->
   ?equiv_engine:Equiv.engine ->
+  ?check_tier:Check.tier ->
   ?db:Db.t ->
   ?gds_path:string ->
   ?def_path:string ->
@@ -160,15 +174,15 @@ val run :
 val run_verilog :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
   ?seed:int -> ?jobs:int -> ?check:bool -> ?equiv_engine:Equiv.engine ->
-  ?db:Db.t -> ?gds_path:string -> ?def_path:string -> string ->
-  (result, string) Stdlib.result
+  ?check_tier:Check.tier -> ?db:Db.t -> ?gds_path:string ->
+  ?def_path:string -> string -> (result, string) Stdlib.result
 (** Full flow from Verilog source text. *)
 
 val run_bench_file :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
   ?seed:int -> ?jobs:int -> ?check:bool -> ?equiv_engine:Equiv.engine ->
-  ?db:Db.t -> ?gds_path:string -> ?def_path:string -> string ->
-  (result, string) Stdlib.result
+  ?check_tier:Check.tier -> ?db:Db.t -> ?gds_path:string ->
+  ?def_path:string -> string -> (result, string) Stdlib.result
 (** Full flow from an ISCAS [.bench] file path. *)
 
 val version : string

@@ -464,19 +464,28 @@ let w_diag b (d : Diag.t) =
   w_string b d.Diag.rule;
   w_severity b d.Diag.severity;
   w_loc b d.Diag.loc;
-  w_string b d.Diag.message
+  w_string b d.Diag.message;
+  w_list w_string b d.Diag.witness
 
 let r_diag r =
   let rule = r_string r in
   let severity = r_severity r in
   let loc = r_loc r in
   let message = r_string r in
-  { Diag.rule; severity; loc; message }
+  let witness = r_list r_string r in
+  { Diag.rule; severity; loc; message; witness }
+
+(* bare diagnostic lists: the absint memo entries in the proof store *)
+let diags =
+  make ~kind:"diags" ~version:1
+    (fun b ds -> w_list w_diag b ds)
+    (fun r -> r_list r_diag r)
 
 (* ---- synthesis report ---- *)
 
 let synth_report =
-  make ~kind:"synth-report" ~version:1
+  (* v2: embedded diagnostics gained the witness field *)
+  make ~kind:"synth-report" ~version:2
     (fun b (s : Synth_flow.report) ->
       w_int b s.Synth_flow.jjs;
       w_int b s.Synth_flow.nets;
@@ -529,8 +538,14 @@ let synth_report =
 (* ---- checker report ---- *)
 
 let check_report =
-  make ~kind:"check-report" ~version:1
+  (* v2: report header (tier/engine) + diagnostic witnesses *)
+  make ~kind:"check-report" ~version:2
     (fun b (rep : Check.report) ->
+      w_list
+        (fun b (k, v) ->
+          w_string b k;
+          w_string b v)
+        b rep.Check.header;
       w_list w_diag b rep.Check.diags;
       w_list
         (fun b (s : Check.pass_stat) ->
@@ -539,6 +554,14 @@ let check_report =
           w_f64 b s.Check.seconds)
         b rep.Check.stats)
     (fun r ->
+      let header =
+        r_list
+          (fun r ->
+            let k = r_string r in
+            let v = r_string r in
+            (k, v))
+          r
+      in
       let diags = r_list r_diag r in
       let stats =
         r_list
@@ -549,7 +572,7 @@ let check_report =
             { Check.pass_name; n_diags; seconds })
           r
       in
-      { Check.diags; stats })
+      { Check.header; diags; stats })
 
 (* ---- DRC violations ---- *)
 

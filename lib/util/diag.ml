@@ -12,14 +12,15 @@ type t = {
   severity : severity;
   loc : loc;
   message : string;
+  witness : string list;
 }
 
-let make severity ~rule loc fmt =
-  Printf.ksprintf (fun message -> { rule; severity; loc; message }) fmt
+let make ?(witness = []) severity ~rule loc fmt =
+  Printf.ksprintf (fun message -> { rule; severity; loc; message; witness }) fmt
 
-let error ~rule loc fmt = make Error ~rule loc fmt
-let warning ~rule loc fmt = make Warning ~rule loc fmt
-let info ~rule loc fmt = make Info ~rule loc fmt
+let error ?witness ~rule loc fmt = make ?witness Error ~rule loc fmt
+let warning ?witness ~rule loc fmt = make ?witness Warning ~rule loc fmt
+let info ?witness ~rule loc fmt = make ?witness Info ~rule loc fmt
 
 let severity_name = function
   | Error -> "error"
@@ -57,14 +58,23 @@ let compare a b =
     if c <> 0 then c
     else
       let c = compare_loc a.loc b.loc in
-      if c <> 0 then c else String.compare a.message b.message
+      if c <> 0 then c
+      else
+        let c = String.compare a.message b.message in
+        if c <> 0 then c else Stdlib.compare a.witness b.witness
 
 let count sev diags =
   List.fold_left (fun n d -> if d.severity = sev then n + 1 else n) 0 diags
 
 let to_string d =
-  Printf.sprintf "%-7s %s @ %s: %s" (severity_name d.severity) d.rule
-    (loc_string d.loc) d.message
+  let base =
+    Printf.sprintf "%-7s %s @ %s: %s" (severity_name d.severity) d.rule
+      (loc_string d.loc) d.message
+  in
+  match d.witness with
+  | [] -> base
+  | steps ->
+      Printf.sprintf "%s [witness: %s]" base (String.concat " -> " steps)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -89,8 +99,17 @@ let loc_json = function
   | Global -> "{\"kind\":\"global\"}"
 
 let to_json d =
-  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+  let witness =
+    match d.witness with
+    | [] -> ""
+    | steps ->
+        Printf.sprintf ",\"witness\":[%s]"
+          (String.concat ","
+             (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) steps))
+  in
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"%s}"
     (json_escape d.rule) (severity_name d.severity) (loc_json d.loc)
-    (json_escape d.message)
+    (json_escape d.message) witness
 
 let pp ppf d = Format.pp_print_string ppf (to_string d)

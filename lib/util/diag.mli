@@ -26,14 +26,22 @@ type t = {
   severity : severity;
   loc : loc;
   message : string;
+  witness : string list;
+      (** the evidence path that forces the finding — one rendered
+          step per element, source first (e.g. the fan-in cone chain
+          that proves a net constant). Empty when the finding needs
+          no path. *)
 }
 
-val error : rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
+val error :
+  ?witness:string list -> rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
 (** [error ~rule loc fmt ...] — printf-style constructor. *)
 
-val warning : rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
+val warning :
+  ?witness:string list -> rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
 
-val info : rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
+val info :
+  ?witness:string list -> rule:string -> loc -> ('a, unit, string, t) format4 -> 'a
 
 val severity_name : severity -> string
 (** ["error"], ["warning"] or ["info"]. *)
@@ -48,7 +56,8 @@ val compare : t -> t -> int
 val count : severity -> t list -> int
 
 val to_string : t -> string
-(** One line: [severity rule @ loc: message]. *)
+(** One line: [severity rule @ loc: message], with
+    [ [witness: a -> b -> c] ] appended when a witness is present. *)
 
 val to_json : t -> string
 (** One JSON object (no trailing newline), suitable for JSON-lines
