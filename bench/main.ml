@@ -11,6 +11,17 @@ open Bechamel
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 
+(* `-- negotiated` runs every routing-dependent table/ablation/micro
+   benchmark with the PathFinder router instead of the sequential
+   default, so QoR and speedup numbers can be compared per algorithm
+   (previously several harnesses hardcoded the default). *)
+let router_alg =
+  if Array.exists (fun a -> a = "negotiated") Sys.argv then Router.Negotiated
+  else Router.Sequential
+
+let router_name =
+  match router_alg with Router.Sequential -> "sequential" | Router.Negotiated -> "negotiated"
+
 let table_circuits =
   if quick then [ "adder8"; "apc32"; "decoder" ] else Circuits.benchmark_names
 
@@ -23,7 +34,7 @@ let fig5 () =
   print_endline "Fig. 5: final AQFP layout (full flow, GDSII emission)";
   let name = if quick then "adder8" else "apc128" in
   let gds = name ^ ".gds" in
-  let r = Flow.run ~gds_path:gds (Circuits.benchmark name) in
+  let r = Flow.run ~router:router_alg ~gds_path:gds (Circuits.benchmark name) in
   Format.printf "%s: %a@." name Layout.pp_stats (Layout.stats r.Flow.layout);
   Format.printf "    %a@." Sta.pp_report r.Flow.sta;
   Format.printf "    DRC: %d violation(s) after %d fix round(s); GDSII: %s@.@."
@@ -165,7 +176,7 @@ let ablation_via_cost () =
     (fun vc ->
       let p = Problem.of_netlist Tech.default aqfp in
       ignore (Placer.place Placer.Superflow p);
-      let r = Router.route_all ~via_cost:vc p in
+      let r = Router.route_all ~algorithm:router_alg ~via_cost:vc p in
       Table.add_row t
         [
           Table.fmt_float ~dec:0 vc;
@@ -331,7 +342,9 @@ let speedup_table () =
         let _, place_s =
           Wallclock.time (fun () -> ignore (Placer.place Placer.Superflow p))
         in
-        let routed, route_s = Wallclock.time (fun () -> Router.route_all p) in
+        let routed, route_s =
+          Wallclock.time (fun () -> Router.route_all ~algorithm:router_alg p)
+        in
         let sta, sta_s = Wallclock.time (fun () -> Sta.analyze_routed p routed) in
         let layout = Layout.build p routed in
         let viols, drc_s = Wallclock.time (fun () -> Drc.check layout) in
@@ -430,9 +443,13 @@ let cache_study () =
         | Error d -> failwith (Diag.to_string d)
       in
       let aoi = Circuits.benchmark name in
-      let cold, cold_s = Wallclock.time (fun () -> Flow.run ~check:true ~db aoi) in
+      let cold, cold_s =
+        Wallclock.time (fun () -> Flow.run ~check:true ~db ~router:router_alg aoi)
+      in
       Db.reset_log db;
-      let warm, warm_s = Wallclock.time (fun () -> Flow.run ~check:true ~db aoi) in
+      let warm, warm_s =
+        Wallclock.time (fun () -> Flow.run ~check:true ~db ~router:router_alg aoi)
+      in
       let hits, misses = (Db.hits db, Db.misses db) in
       (* the warm path must reproduce the cold artifacts byte for byte *)
       let identical =
@@ -654,7 +671,7 @@ let micro_tests () =
     p
   in
   let p_placed = placed () in
-  let routed = Router.route_all p_placed in
+  let routed = Router.route_all ~algorithm:router_alg p_placed in
   let layout = Layout.build p_placed routed in
   Test.make_grouped ~name:"superflow"
     [
@@ -684,7 +701,7 @@ let micro_tests () =
       Test.make ~name:"table4:route(adder8)"
         (Staged.stage (fun () ->
              let p = placed () in
-             ignore (Router.route_all p)));
+             ignore (Router.route_all ~algorithm:router_alg p)));
       (* Fig. 4: detailed placement (the ablated stage) *)
       Test.make ~name:"fig4:detailed-mixed(adder8)"
         (Staged.stage (fun () ->
@@ -708,7 +725,7 @@ let scaling_study () =
   List.iter
     (fun name ->
       let t0 = Sys.time () in
-      let r = Flow.run (Circuits.benchmark name) in
+      let r = Flow.run ~router:router_alg (Circuits.benchmark name) in
       let total = Sys.time () -. t0 in
       Table.add_row t
         [
@@ -766,12 +783,14 @@ let () =
     speedup_table ();
     exit 0
   end;
-  Format.printf "SuperFlow %s — paper table regeneration%s@.@." Flow.version
-    (if quick then " (quick subset)" else "");
+  Format.printf "SuperFlow %s — paper table regeneration%s (router=%s)@.@."
+    Flow.version
+    (if quick then " (quick subset)" else "")
+    router_name;
   Report.print_table1 ();
   Report.print_table2 table_circuits;
   Report.print_table3 table_circuits;
-  Report.print_table4 table_circuits;
+  Report.print_table4 ~router:router_alg table_circuits;
   Report.print_fig4 ablation_circuits;
   fig5 ();
   Report.print_claims table_circuits;

@@ -128,10 +128,14 @@ let measure_table3 ?(seed = 1) name =
       })
     [ Placer.Gordian; Placer.Taas; Placer.Superflow ]
 
-let measure_table4 ?(seed = 1) name =
-  memo t4_cache name @@ fun () ->
+let router_tag = function
+  | Router.Sequential -> "seq"
+  | Router.Negotiated -> "neg"
+
+let measure_table4 ?(seed = 1) ?(router = Router.Sequential) name =
+  memo t4_cache (name ^ "#" ^ router_tag router) @@ fun () ->
   let aoi = Circuits.benchmark name in
-  let r = Flow.run ~seed aoi in
+  let r = Flow.run ~seed ~router aoi in
   {
     r_name = name;
     r_jjs = Problem.jj_count r.Flow.problem;
@@ -252,7 +256,7 @@ let print_table3 names =
   Table.print t;
   print_newline ()
 
-let print_table4 names =
+let print_table4 ?(router = Router.Sequential) names =
   print_endline "Table IV: routing results of SuperFlow (paper vs measured)";
   let t =
     Table.create
@@ -262,7 +266,7 @@ let print_table4 names =
   in
   List.iter
     (fun name ->
-      let m = measure_table4 name in
+      let m = measure_table4 ~router name in
       let pj, pn, pw =
         match List.assoc_opt name paper_table4 with
         | Some (a, b, c) -> (string_of_int a, string_of_int b, Table.fmt_float ~dec:0 c)

@@ -47,7 +47,13 @@ val measure_table2 : string -> synth_row
 val measure_table3 : ?seed:int -> string -> place_row list
 (** GORDIAN-based, TAAS, SuperFlow — in that order. *)
 
-val measure_table4 : ?seed:int -> string -> route_row
+val measure_table4 :
+  ?seed:int -> ?router:Router.algorithm -> string -> route_row
+(** [router] selects the routing algorithm the flow runs with
+    (default [Sequential]); measurements are memoized per
+    (circuit, router) pair. *)
+
+
 val measure_fig4 : ?seed:int -> string -> fig4_row list
 (** Size-matched-only vs mixed-size detailed placement. *)
 
@@ -56,7 +62,7 @@ val measure_fig4 : ?seed:int -> string -> fig4_row list
 val print_table1 : unit -> unit
 val print_table2 : string list -> unit
 val print_table3 : string list -> unit
-val print_table4 : string list -> unit
+val print_table4 : ?router:Router.algorithm -> string list -> unit
 val print_fig4 : string list -> unit
 
 type claim = { claim : string; holds : bool; evidence : string }

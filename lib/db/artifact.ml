@@ -249,7 +249,7 @@ let placement =
 (* ---- routing ---- *)
 
 let routing =
-  make ~kind:"routing" ~version:1
+  make ~kind:"routing" ~version:2
     (fun b (res : Router.result) ->
       w_array
         (fun b (rt : Router.route) ->
@@ -259,6 +259,9 @@ let routing =
           w_f64 b rt.Router.length)
         b res.Router.routes;
       w_int b res.Router.expansions;
+      w_int b res.Router.node_expansions;
+      w_int b res.Router.neg_rounds;
+      w_int b res.Router.neg_rerouted;
       w_f64 b res.Router.wirelength;
       w_int b res.Router.total_vias;
       w_f64 b res.Router.runtime_s)
@@ -274,10 +277,22 @@ let routing =
           r
       in
       let expansions = r_int r in
+      let node_expansions = r_int r in
+      let neg_rounds = r_int r in
+      let neg_rerouted = r_int r in
       let wirelength = r_f64 r in
       let total_vias = r_int r in
       let runtime_s = r_f64 r in
-      { Router.routes; expansions; wirelength; total_vias; runtime_s })
+      {
+        Router.routes;
+        expansions;
+        node_expansions;
+        neg_rounds;
+        neg_rerouted;
+        wirelength;
+        total_vias;
+        runtime_s;
+      })
 
 (* ---- layout ---- *)
 

@@ -1,0 +1,344 @@
+(* The pre-arena search cores, kept verbatim as the measured baseline
+   for the [route_study] bench and the old-vs-new property tests.
+
+   These are the two float-heap A* bodies (per-net allocation of
+   dist/parent arrays, Fheap open list, no window pruning) and the
+   reroute-everything negotiation loop that [Search] and
+   [Router.negotiate_pair] replaced. They are not used by the flow;
+   [Router.route_all ~core:Legacy] selects them explicitly so the
+   bench can report old-core vs new-core wall time on identical
+   inputs, and tests can cross-check route validity of both cores.
+
+   Do not "improve" this module: its value is that it stays exactly
+   what shipped before the search-core overhaul. *)
+
+open Search
+
+(* A* for one net on the pair grid. Returns the node path (goal
+   first). *)
+let astar g ~via_cost ~net ~sx ~sy ~gx ~gy =
+  let nx = g.nx and ny = g.ny in
+  let n_states = nx * ny * 2 in
+  let dist = Array.make n_states infinity in
+  let parent = Array.make n_states (-1) in
+  let queue = Fheap.create () in
+  let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
+  let heuristic ix iy =
+    g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy))
+  in
+  let passable_edge owner idx = owner.(idx) = -1 || owner.(idx) = net in
+  let passable_node layer idx = layer.(idx) = -1 || layer.(idx) = net in
+  (* first move is forced downward out of the source pin *)
+  if sy + 1 < ny then begin
+    let vidx = node_index g sx sy in
+    if
+      passable_edge g.v_owner vidx
+      && (not g.blocked.(node_index g sx (sy + 1)))
+      && passable_node g.node_v (node_index g sx (sy + 1))
+    then begin
+      let s = state sx (sy + 1) dir_v in
+      dist.(s) <- g.grid;
+      parent.(s) <- -2;
+      Fheap.push queue (g.grid +. heuristic sx (sy + 1)) s
+    end
+  end;
+  let goal_state = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    match Fheap.pop queue with
+    | None -> continue := false
+    | Some (prio, s) ->
+        let d = dist.(s) in
+        if prio -. heuristic ((s / 2) mod nx) (s / 2 / nx) <= d +. 1e-9 then begin
+          let node = s / 2 in
+          let dir = s land 1 in
+          let ix = node mod nx and iy = node / nx in
+          if ix = gx && iy = gy && dir = dir_v then begin
+            goal_state := s;
+            continue := false
+          end
+          else begin
+            let try_move nix niy ndir edge_owner edge_idx node_layer =
+              if nix >= 0 && nix < nx && niy >= 0 && niy < ny then begin
+                let nnode = node_index g nix niy in
+                (* the goal node is exempt from the blocked test (it
+                   sits on the region boundary anyway); a run claims
+                   both of an edge's endpoints on its layer, so check
+                   the departing node too *)
+                let node_ok =
+                  ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
+                  && passable_node node_layer nnode
+                  && passable_node node_layer (node_index g ix iy)
+                in
+                if node_ok && passable_edge edge_owner edge_idx then begin
+                  let turn = if dir <> ndir then via_cost else 0.0 in
+                  let nd = d +. g.grid +. turn in
+                  let ns = state nix niy ndir in
+                  if nd < dist.(ns) -. 1e-9 then begin
+                    dist.(ns) <- nd;
+                    parent.(ns) <- s;
+                    Fheap.push queue (nd +. heuristic nix niy) ns
+                  end
+                end
+              end
+            in
+            (* right *)
+            if not (g.blocked_h.(node_index g ix iy) || (ix + 1 < nx && g.blocked_h.(node_index g (ix + 1) iy))) then
+              try_move (ix + 1) iy dir_h g.h_owner (node_index g ix iy) g.node_h;
+            (* left *)
+            if ix > 0
+               && not (g.blocked_h.(node_index g ix iy) || g.blocked_h.(node_index g (ix - 1) iy))
+            then
+              try_move (ix - 1) iy dir_h g.h_owner (node_index g (ix - 1) iy) g.node_h;
+            (* down *)
+            try_move ix (iy + 1) dir_v g.v_owner (node_index g ix iy) g.node_v;
+            (* up *)
+            if iy > 0 then
+              try_move ix (iy - 1) dir_v g.v_owner (node_index g ix (iy - 1)) g.node_v
+          end
+        end
+  done;
+  if !goal_state < 0 then None
+  else begin
+    (* reconstruct: list of (ix, iy, dir) from goal back to source *)
+    let rec walk s acc =
+      if s = -2 then acc
+      else
+        let node = s / 2 in
+        let ix = node mod nx and iy = node / nx in
+        walk parent.(s) ((ix, iy, s land 1) :: acc)
+    in
+    let path = walk !goal_state [] in
+    Some ((sx, sy, dir_v) :: path)
+  end
+
+(* ---- negotiated-congestion (PathFinder-style) pair routing ----
+
+   Every iteration routes all nets with shared resources allowed but
+   priced (present-sharing cost that grows per round + accumulated
+   history), until every edge and node-layer slot has a single
+   tenant. Pin reservations stay hard. *)
+
+type negotiation = {
+  h_use : int array; (* tenants of each horizontal edge, last iteration *)
+  v_use : int array;
+  nh_use : int array; (* node-layer occupancy *)
+  nv_use : int array;
+  h_hist : float array;
+  v_hist : float array;
+  nh_hist : float array;
+  nv_hist : float array;
+  h_mine : int array; (* last-iteration user marks for self-exclusion *)
+  v_mine : int array;
+  nh_mine : int array;
+  nv_mine : int array;
+}
+
+let make_negotiation g =
+  let n = g.nx * g.ny in
+  {
+    h_use = Array.make n 0;
+    v_use = Array.make n 0;
+    nh_use = Array.make n 0;
+    nv_use = Array.make n 0;
+    h_hist = Array.make n 0.0;
+    v_hist = Array.make n 0.0;
+    nh_hist = Array.make n 0.0;
+    nv_hist = Array.make n 0.0;
+    h_mine = Array.make n (-1);
+    v_mine = Array.make n (-1);
+    nh_mine = Array.make n (-1);
+    nv_mine = Array.make n (-1);
+  }
+
+(* A* where foreign usage is priced instead of forbidden; hard
+   constraints remain: blocked cells, blocked_h rows, and pin
+   reservations (owner arrays) of other nets. *)
+let astar_negotiated g neg ~via_cost ~present ~net ~sx ~sy ~gx ~gy =
+  let nx = g.nx and ny = g.ny in
+  let n_states = nx * ny * 2 in
+  let dist = Array.make n_states infinity in
+  let parent = Array.make n_states (-1) in
+  let queue = Fheap.create () in
+  let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
+  let heuristic ix iy = g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy)) in
+  let hard_ok owner idx = owner.(idx) = -1 || owner.(idx) = net in
+  let foreign use mine idx =
+    let u = use.(idx) in
+    if mine.(idx) = net then u - 1 else u
+  in
+  let edge_price use mine hist idx =
+    (present *. float_of_int (max 0 (foreign use mine idx))) +. hist.(idx)
+  in
+  if sy + 1 < ny then begin
+    let vidx = node_index g sx sy in
+    if hard_ok g.v_owner vidx && not g.blocked.(node_index g sx (sy + 1)) then begin
+      let s = state sx (sy + 1) dir_v in
+      dist.(s) <- g.grid;
+      parent.(s) <- -2;
+      Fheap.push queue (g.grid +. heuristic sx (sy + 1)) s
+    end
+  end;
+  let goal_state = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    match Fheap.pop queue with
+    | None -> continue := false
+    | Some (prio, s) ->
+        let d = dist.(s) in
+        if prio -. heuristic ((s / 2) mod nx) (s / 2 / nx) <= d +. 1e-9 then begin
+          let node = s / 2 in
+          let dir = s land 1 in
+          let ix = node mod nx and iy = node / nx in
+          if ix = gx && iy = gy && dir = dir_v then begin
+            goal_state := s;
+            continue := false
+          end
+          else begin
+            let try_move nix niy ndir ~edge_owner ~edge_idx ~use ~mine ~hist
+                ~node_use ~node_mine ~node_hist ~node_owner =
+              if nix >= 0 && nix < nx && niy >= 0 && niy < ny then begin
+                let nnode = node_index g nix niy in
+                let here = node_index g ix iy in
+                let hard =
+                  ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
+                  && hard_ok edge_owner edge_idx
+                  && hard_ok node_owner nnode && hard_ok node_owner here
+                in
+                if hard then begin
+                  let turn = if dir <> ndir then via_cost else 0.0 in
+                  let congestion =
+                    edge_price use mine hist edge_idx
+                    +. edge_price node_use node_mine node_hist nnode
+                  in
+                  let nd = d +. g.grid +. turn +. congestion in
+                  let ns = state nix niy ndir in
+                  if nd < dist.(ns) -. 1e-9 then begin
+                    dist.(ns) <- nd;
+                    parent.(ns) <- s;
+                    Fheap.push queue (nd +. heuristic nix niy) ns
+                  end
+                end
+              end
+            in
+            (* horizontal moves obey the blocked_h pin-edge rule *)
+            if
+              not
+                (g.blocked_h.(node_index g ix iy)
+                || (ix + 1 < nx && g.blocked_h.(node_index g (ix + 1) iy)))
+            then
+              try_move (ix + 1) iy dir_h ~edge_owner:g.h_owner
+                ~edge_idx:(node_index g ix iy) ~use:neg.h_use ~mine:neg.h_mine
+                ~hist:neg.h_hist ~node_use:neg.nh_use ~node_mine:neg.nh_mine
+                ~node_hist:neg.nh_hist ~node_owner:g.node_h;
+            if
+              ix > 0
+              && not
+                   (g.blocked_h.(node_index g ix iy)
+                   || g.blocked_h.(node_index g (ix - 1) iy))
+            then
+              try_move (ix - 1) iy dir_h ~edge_owner:g.h_owner
+                ~edge_idx:(node_index g (ix - 1) iy) ~use:neg.h_use
+                ~mine:neg.h_mine ~hist:neg.h_hist ~node_use:neg.nh_use
+                ~node_mine:neg.nh_mine ~node_hist:neg.nh_hist ~node_owner:g.node_h;
+            try_move ix (iy + 1) dir_v ~edge_owner:g.v_owner
+              ~edge_idx:(node_index g ix iy) ~use:neg.v_use ~mine:neg.v_mine
+              ~hist:neg.v_hist ~node_use:neg.nv_use ~node_mine:neg.nv_mine
+              ~node_hist:neg.nv_hist ~node_owner:g.node_v;
+            if iy > 0 then
+              try_move ix (iy - 1) dir_v ~edge_owner:g.v_owner
+                ~edge_idx:(node_index g ix (iy - 1)) ~use:neg.v_use
+                ~mine:neg.v_mine ~hist:neg.v_hist ~node_use:neg.nv_use
+                ~node_mine:neg.nv_mine ~node_hist:neg.nv_hist ~node_owner:g.node_v
+          end
+        end
+  done;
+  if !goal_state < 0 then None
+  else begin
+    let rec walk s acc =
+      if s = -2 then acc
+      else
+        let node = s / 2 in
+        let ix = node mod nx and iy = node / nx in
+        walk parent.(s) ((ix, iy, s land 1) :: acc)
+    in
+    Some ((sx, sy, dir_v) :: walk !goal_state [])
+  end
+
+(* tally resource usage of a path into the negotiation state *)
+let tally g neg ~net path =
+  let mark use mine idx =
+    if mine.(idx) <> net then begin
+      mine.(idx) <- net;
+      use.(idx) <- use.(idx) + 1
+    end
+  in
+  let rec claim = function
+    | (x1, y1, _) :: ((x2, y2, dir) :: _ as rest) ->
+        if dir = dir_h then begin
+          mark neg.h_use neg.h_mine (node_index g (min x1 x2) y1);
+          mark neg.nh_use neg.nh_mine (node_index g x1 y1);
+          mark neg.nh_use neg.nh_mine (node_index g x2 y2)
+        end
+        else begin
+          mark neg.v_use neg.v_mine ((min y1 y2 * g.nx) + x1);
+          mark neg.nv_use neg.nv_mine (node_index g x1 y1);
+          mark neg.nv_use neg.nv_mine (node_index g x2 y2)
+        end;
+        claim rest
+    | _ -> ()
+  in
+  claim path
+
+(* One negotiation attempt for a whole pair. Returns routed paths if
+   every resource ended with a single tenant. *)
+let negotiate_pair g endpoints ~via_cost ~max_iterations =
+  let neg = make_negotiation g in
+  let n_res = g.nx * g.ny in
+  let paths : (int * (int * int * int) list) list ref = ref [] in
+  let present = ref (0.5 *. g.grid) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iterations do
+    incr iter;
+    (* clear usage marks, keep history *)
+    Array.fill neg.h_use 0 n_res 0;
+    Array.fill neg.v_use 0 n_res 0;
+    Array.fill neg.nh_use 0 n_res 0;
+    Array.fill neg.nv_use 0 n_res 0;
+    Array.fill neg.h_mine 0 n_res (-1);
+    Array.fill neg.v_mine 0 n_res (-1);
+    Array.fill neg.nh_mine 0 n_res (-1);
+    Array.fill neg.nv_mine 0 n_res (-1);
+    let this_round = ref [] in
+    let all_routed = ref true in
+    List.iter
+      (fun (ni, sx, sy, gx, gy) ->
+        match
+          astar_negotiated g neg ~via_cost ~present:!present ~net:ni ~sx ~sy ~gx ~gy
+        with
+        | Some path ->
+            tally g neg ~net:ni path;
+            this_round := (ni, path) :: !this_round
+        | None -> all_routed := false)
+      endpoints;
+    paths := !this_round;
+    (* overuse -> history, and check convergence *)
+    let overused = ref false in
+    let bump use hist =
+      Array.iteri
+        (fun i u ->
+          if u > 1 then begin
+            overused := true;
+            hist.(i) <- hist.(i) +. (g.grid *. float_of_int (u - 1))
+          end)
+        use
+    in
+    bump neg.h_use neg.h_hist;
+    bump neg.v_use neg.v_hist;
+    bump neg.nh_use neg.nh_hist;
+    bump neg.nv_use neg.nv_hist;
+    converged := !all_routed && not !overused;
+    present := !present *. 1.6
+  done;
+  if !converged then Some !paths else None

@@ -1,3 +1,5 @@
+open Search
+
 type route = {
   net : int;
   points : (float * float) list;
@@ -7,7 +9,10 @@ type route = {
 
 type result = {
   routes : route array;
-  expansions : int;
+  expansions : int; (* space expansions: channel-growth retries *)
+  node_expansions : int; (* A* states popped (0 under the Legacy core) *)
+  neg_rounds : int; (* max negotiation rounds over all row pairs *)
+  neg_rerouted : int; (* total net reroutes across negotiation rounds *)
   wirelength : float;
   total_vias : int;
   runtime_s : float;
@@ -15,33 +20,10 @@ type result = {
 
 exception Unroutable of int
 
-(* Directions: 0 = horizontal arrival, 1 = vertical arrival. *)
-let dir_h = 0
-let dir_v = 1
-
-(* A pair grid lives in pair-local coordinates: x from 0 at the row's
-   left edge, y from 0 at the top of row [r]. Keeping the grid free of
-   absolute y lets every row pair be routed on its own domain — a
-   pair's decisions depend only on its own row's cells and its own
-   gap, never on how much space pairs above it grabbed. Absolute
-   coordinates are restored after all pairs finish (see [route_all]). *)
-type pair_grid = {
-  nx : int;
-  ny : int;
-  grid : float;
-  blocked : bool array; (* nodes, nx*ny *)
-  blocked_h : bool array; (* nodes where horizontal runs are forbidden
-                             (cell pin edges, region boundaries) *)
-  h_owner : int array; (* edge (ix,iy)-(ix+1,iy) *)
-  v_owner : int array; (* edge (ix,iy)-(ix,iy+1) *)
-  node_h : int array; (* node used by a horizontal run of net i *)
-  node_v : int array;
-}
-
 (* [gap] is the pair's own routing gap (the caller tracks growth
    locally during space expansion and commits it to
    [Problem.row_gaps] once routing settles). *)
-let make_grid p r ~margin ~gap =
+let make_grid p r ~margin ~gap : Search.grid =
   let tech = p.Problem.tech in
   let grid = tech.Tech.grid in
   let height = p.Problem.row_height +. gap in
@@ -86,106 +68,6 @@ let make_grid p r ~margin ~gap =
     p.Problem.row_cells.(r);
   g
 
-let node_index g ix iy = (iy * g.nx) + ix
-
-(* A* for one net on the pair grid. Returns the node path (goal
-   first). *)
-let astar g ~via_cost ~net ~sx ~sy ~gx ~gy =
-  let nx = g.nx and ny = g.ny in
-  let n_states = nx * ny * 2 in
-  let dist = Array.make n_states infinity in
-  let parent = Array.make n_states (-1) in
-  let queue = Fheap.create () in
-  let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
-  let heuristic ix iy =
-    g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy))
-  in
-  let passable_edge owner idx = owner.(idx) = -1 || owner.(idx) = net in
-  let passable_node layer idx = layer.(idx) = -1 || layer.(idx) = net in
-  (* first move is forced downward out of the source pin *)
-  if sy + 1 < ny then begin
-    let vidx = node_index g sx sy in
-    if
-      passable_edge g.v_owner vidx
-      && (not g.blocked.(node_index g sx (sy + 1)))
-      && passable_node g.node_v (node_index g sx (sy + 1))
-    then begin
-      let s = state sx (sy + 1) dir_v in
-      dist.(s) <- g.grid;
-      parent.(s) <- -2;
-      Fheap.push queue (g.grid +. heuristic sx (sy + 1)) s
-    end
-  end;
-  let goal_state = ref (-1) in
-  let continue = ref true in
-  while !continue do
-    match Fheap.pop queue with
-    | None -> continue := false
-    | Some (prio, s) ->
-        let d = dist.(s) in
-        if prio -. heuristic ((s / 2) mod nx) (s / 2 / nx) <= d +. 1e-9 then begin
-          let node = s / 2 in
-          let dir = s land 1 in
-          let ix = node mod nx and iy = node / nx in
-          if ix = gx && iy = gy && dir = dir_v then begin
-            goal_state := s;
-            continue := false
-          end
-          else begin
-            let try_move nix niy ndir edge_owner edge_idx node_layer =
-              if nix >= 0 && nix < nx && niy >= 0 && niy < ny then begin
-                let nnode = node_index g nix niy in
-                (* the goal node is exempt from the blocked test (it
-                   sits on the region boundary anyway); a run claims
-                   both of an edge's endpoints on its layer, so check
-                   the departing node too *)
-                let node_ok =
-                  ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
-                  && passable_node node_layer nnode
-                  && passable_node node_layer (node_index g ix iy)
-                in
-                if node_ok && passable_edge edge_owner edge_idx then begin
-                  let turn = if dir <> ndir then via_cost else 0.0 in
-                  let nd = d +. g.grid +. turn in
-                  let ns = state nix niy ndir in
-                  if nd < dist.(ns) -. 1e-9 then begin
-                    dist.(ns) <- nd;
-                    parent.(ns) <- s;
-                    Fheap.push queue (nd +. heuristic nix niy) ns
-                  end
-                end
-              end
-            in
-            (* right *)
-            if not (g.blocked_h.(node_index g ix iy) || (ix + 1 < nx && g.blocked_h.(node_index g (ix + 1) iy))) then
-              try_move (ix + 1) iy dir_h g.h_owner (node_index g ix iy) g.node_h;
-            (* left *)
-            if ix > 0
-               && not (g.blocked_h.(node_index g ix iy) || g.blocked_h.(node_index g (ix - 1) iy))
-            then
-              try_move (ix - 1) iy dir_h g.h_owner (node_index g (ix - 1) iy) g.node_h;
-            (* down *)
-            try_move ix (iy + 1) dir_v g.v_owner (node_index g ix iy) g.node_v;
-            (* up *)
-            if iy > 0 then
-              try_move ix (iy - 1) dir_v g.v_owner (node_index g ix (iy - 1)) g.node_v
-          end
-        end
-  done;
-  if !goal_state < 0 then None
-  else begin
-    (* reconstruct: list of (ix, iy, dir) from goal back to source *)
-    let rec walk s acc =
-      if s = -2 then acc
-      else
-        let node = s / 2 in
-        let ix = node mod nx and iy = node / nx in
-        walk parent.(s) ((ix, iy, s land 1) :: acc)
-    in
-    let path = walk !goal_state [] in
-    Some ((sx, sy, dir_v) :: path)
-  end
-
 (* Commit a routed path: claim edges and per-layer nodes. *)
 let commit g ~net path =
   let rec claim = function
@@ -226,218 +108,130 @@ let path_to_route ~grid ~y0 ~net path =
   let vias = max 0 (List.length points - 2) in
   { net; points; vias; length }
 
-(* ---- negotiated-congestion (PathFinder-style) pair routing ----
+(* ---- dirty-net negotiation over the shared search core ----
 
-   Alternative to the first-come-first-served claiming above: every
-   iteration routes all nets with shared resources allowed but priced
-   (present-sharing cost that grows per round + accumulated history),
-   until every edge and node-layer slot has a single tenant. Pin
-   reservations stay hard. *)
+   PathFinder-style rip-up-and-reroute where tallies persist across
+   rounds: a net reroutes only when it is dirty — it has no path yet,
+   or some resource its path occupies has more than one tenant.
+   Clean nets keep their paths and their tallies, so late rounds cost
+   only the congested remainder instead of a full re-route of every
+   net (the old core's behavior, kept in [Legacy]). *)
 
-type negotiation = {
-  h_use : int array; (* tenants of each horizontal edge, last iteration *)
-  v_use : int array;
-  nh_use : int array; (* node-layer occupancy *)
-  nv_use : int array;
-  h_hist : float array;
-  v_hist : float array;
-  nh_hist : float array;
-  nv_hist : float array;
-  h_mine : int array; (* last-iteration user marks for self-exclusion *)
-  v_mine : int array;
-  nh_mine : int array;
-  nv_mine : int array;
+(* A net's tallied resources, deduplicated, encoded (idx lsl 2) lor
+   kind so untallying is a flat list walk. *)
+let kind_eh = 0 (* horizontal edge *)
+let kind_ev = 1 (* vertical edge *)
+let kind_nh = 2 (* node on the horizontal layer *)
+let kind_nv = 3 (* node on the vertical layer *)
+
+(* dedup stamps for one tally pass: a path claims both endpoints of
+   every edge, so consecutive segments touch shared nodes twice *)
+type neg_stamps = {
+  mutable op : int;
+  st_eh : int array;
+  st_ev : int array;
+  st_nh : int array;
+  st_nv : int array;
 }
 
-let make_negotiation g =
+let make_stamps g =
   let n = g.nx * g.ny in
   {
-    h_use = Array.make n 0;
-    v_use = Array.make n 0;
-    nh_use = Array.make n 0;
-    nv_use = Array.make n 0;
-    h_hist = Array.make n 0.0;
-    v_hist = Array.make n 0.0;
-    nh_hist = Array.make n 0.0;
-    nv_hist = Array.make n 0.0;
-    h_mine = Array.make n (-1);
-    v_mine = Array.make n (-1);
-    nh_mine = Array.make n (-1);
-    nv_mine = Array.make n (-1);
+    op = 0;
+    st_eh = Array.make n 0;
+    st_ev = Array.make n 0;
+    st_nh = Array.make n 0;
+    st_nv = Array.make n 0;
   }
 
-(* A* where foreign usage is priced instead of forbidden; hard
-   constraints remain: blocked cells, blocked_h rows, and pin
-   reservations (owner arrays) of other nets. *)
-let astar_negotiated g neg ~via_cost ~present ~net ~sx ~sy ~gx ~gy =
-  let nx = g.nx and ny = g.ny in
-  let n_states = nx * ny * 2 in
-  let dist = Array.make n_states infinity in
-  let parent = Array.make n_states (-1) in
-  let queue = Fheap.create () in
-  let state ix iy dir = (((iy * nx) + ix) * 2) + dir in
-  let heuristic ix iy = g.grid *. float_of_int (abs (ix - gx) + abs (iy - gy)) in
-  let hard_ok owner idx = owner.(idx) = -1 || owner.(idx) = net in
-  let foreign use mine idx =
-    let u = use.(idx) in
-    if mine.(idx) = net then u - 1 else u
-  in
-  let edge_price use mine hist idx =
-    (present *. float_of_int (max 0 (foreign use mine idx))) +. hist.(idx)
-  in
-  if sy + 1 < ny then begin
-    let vidx = node_index g sx sy in
-    if hard_ok g.v_owner vidx && not g.blocked.(node_index g sx (sy + 1)) then begin
-      let s = state sx (sy + 1) dir_v in
-      dist.(s) <- g.grid;
-      parent.(s) <- -2;
-      Fheap.push queue (g.grid +. heuristic sx (sy + 1)) s
-    end
-  end;
-  let goal_state = ref (-1) in
-  let continue = ref true in
-  while !continue do
-    match Fheap.pop queue with
-    | None -> continue := false
-    | Some (prio, s) ->
-        let d = dist.(s) in
-        if prio -. heuristic ((s / 2) mod nx) (s / 2 / nx) <= d +. 1e-9 then begin
-          let node = s / 2 in
-          let dir = s land 1 in
-          let ix = node mod nx and iy = node / nx in
-          if ix = gx && iy = gy && dir = dir_v then begin
-            goal_state := s;
-            continue := false
-          end
-          else begin
-            let try_move nix niy ndir ~edge_owner ~edge_idx ~use ~mine ~hist
-                ~node_use ~node_mine ~node_hist ~node_owner =
-              if nix >= 0 && nix < nx && niy >= 0 && niy < ny then begin
-                let nnode = node_index g nix niy in
-                let here = node_index g ix iy in
-                let hard =
-                  ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
-                  && hard_ok edge_owner edge_idx
-                  && hard_ok node_owner nnode && hard_ok node_owner here
-                in
-                if hard then begin
-                  let turn = if dir <> ndir then via_cost else 0.0 in
-                  let congestion =
-                    edge_price use mine hist edge_idx
-                    +. edge_price node_use node_mine node_hist nnode
-                  in
-                  let nd = d +. g.grid +. turn +. congestion in
-                  let ns = state nix niy ndir in
-                  if nd < dist.(ns) -. 1e-9 then begin
-                    dist.(ns) <- nd;
-                    parent.(ns) <- s;
-                    Fheap.push queue (nd +. heuristic nix niy) ns
-                  end
-                end
-              end
-            in
-            (* horizontal moves obey the blocked_h pin-edge rule *)
-            if
-              not
-                (g.blocked_h.(node_index g ix iy)
-                || (ix + 1 < nx && g.blocked_h.(node_index g (ix + 1) iy)))
-            then
-              try_move (ix + 1) iy dir_h ~edge_owner:g.h_owner
-                ~edge_idx:(node_index g ix iy) ~use:neg.h_use ~mine:neg.h_mine
-                ~hist:neg.h_hist ~node_use:neg.nh_use ~node_mine:neg.nh_mine
-                ~node_hist:neg.nh_hist ~node_owner:g.node_h;
-            if
-              ix > 0
-              && not
-                   (g.blocked_h.(node_index g ix iy)
-                   || g.blocked_h.(node_index g (ix - 1) iy))
-            then
-              try_move (ix - 1) iy dir_h ~edge_owner:g.h_owner
-                ~edge_idx:(node_index g (ix - 1) iy) ~use:neg.h_use
-                ~mine:neg.h_mine ~hist:neg.h_hist ~node_use:neg.nh_use
-                ~node_mine:neg.nh_mine ~node_hist:neg.nh_hist ~node_owner:g.node_h;
-            try_move ix (iy + 1) dir_v ~edge_owner:g.v_owner
-              ~edge_idx:(node_index g ix iy) ~use:neg.v_use ~mine:neg.v_mine
-              ~hist:neg.v_hist ~node_use:neg.nv_use ~node_mine:neg.nv_mine
-              ~node_hist:neg.nv_hist ~node_owner:g.node_v;
-            if iy > 0 then
-              try_move ix (iy - 1) dir_v ~edge_owner:g.v_owner
-                ~edge_idx:(node_index g ix (iy - 1)) ~use:neg.v_use
-                ~mine:neg.v_mine ~hist:neg.v_hist ~node_use:neg.nv_use
-                ~node_mine:neg.nv_mine ~node_hist:neg.nv_hist ~node_owner:g.node_v
-          end
-        end
-  done;
-  if !goal_state < 0 then None
-  else begin
-    let rec walk s acc =
-      if s = -2 then acc
-      else
-        let node = s / 2 in
-        let ix = node mod nx and iy = node / nx in
-        walk parent.(s) ((ix, iy, s land 1) :: acc)
-    in
-    Some ((sx, sy, dir_v) :: walk !goal_state [])
-  end
-
-(* tally resource usage of a path into the negotiation state *)
-let tally g neg ~net path =
-  let mark use mine idx =
-    if mine.(idx) <> net then begin
-      mine.(idx) <- net;
-      use.(idx) <- use.(idx) + 1
+(* tally a path's resource usage; returns the deduped resource list *)
+let tally g neg st path =
+  st.op <- st.op + 1;
+  let op = st.op in
+  let res = ref [] in
+  let mark stamp use kind idx =
+    if stamp.(idx) <> op then begin
+      stamp.(idx) <- op;
+      use.(idx) <- use.(idx) + 1;
+      res := ((idx lsl 2) lor kind) :: !res
     end
   in
   let rec claim = function
     | (x1, y1, _) :: ((x2, y2, dir) :: _ as rest) ->
         if dir = dir_h then begin
-          mark neg.h_use neg.h_mine (node_index g (min x1 x2) y1);
-          mark neg.nh_use neg.nh_mine (node_index g x1 y1);
-          mark neg.nh_use neg.nh_mine (node_index g x2 y2)
+          mark st.st_eh neg.h_use kind_eh (node_index g (min x1 x2) y1);
+          mark st.st_nh neg.nh_use kind_nh (node_index g x1 y1);
+          mark st.st_nh neg.nh_use kind_nh (node_index g x2 y2)
         end
         else begin
-          mark neg.v_use neg.v_mine ((min y1 y2 * g.nx) + x1);
-          mark neg.nv_use neg.nv_mine (node_index g x1 y1);
-          mark neg.nv_use neg.nv_mine (node_index g x2 y2)
+          mark st.st_ev neg.v_use kind_ev ((min y1 y2 * g.nx) + x1);
+          mark st.st_nv neg.nv_use kind_nv (node_index g x1 y1);
+          mark st.st_nv neg.nv_use kind_nv (node_index g x2 y2)
         end;
         claim rest
     | _ -> ()
   in
-  claim path
+  claim path;
+  !res
 
-(* One negotiation attempt for a whole pair. Returns routed paths if
-   every resource ended with a single tenant. *)
-let negotiate_pair g endpoints ~via_cost ~max_iterations =
-  let neg = make_negotiation g in
-  let n_res = g.nx * g.ny in
-  let paths : (int * (int * int * int) list) list ref = ref [] in
+let use_of_kind neg = function
+  | 0 -> neg.h_use
+  | 1 -> neg.v_use
+  | 2 -> neg.nh_use
+  | _ -> neg.nv_use
+
+let untally neg res =
+  List.iter
+    (fun r ->
+      let use = use_of_kind neg (r land 3) in
+      let idx = r lsr 2 in
+      use.(idx) <- use.(idx) - 1)
+    res
+
+(* a net is dirty when any resource it occupies is overused *)
+let touches_overuse neg res =
+  List.exists
+    (fun r -> (use_of_kind neg (r land 3)).(r lsr 2) > 1)
+    res
+
+(* One negotiation attempt for a whole pair. Returns routed paths
+   (in endpoint order) with round/reroute counts if every resource
+   ended with a single tenant. *)
+let negotiate_pair g arena endpoints ~via_q ~max_iterations =
+  let neg = make_neg_state g in
+  let st = make_stamps g in
+  let eps = Array.of_list endpoints in
+  let n = Array.length eps in
+  (* per endpoint: its current path and deduped resource list *)
+  let paths = Array.make n None in
   let present = ref (0.5 *. g.grid) in
   let converged = ref false in
-  let iter = ref 0 in
-  while (not !converged) && !iter < max_iterations do
-    incr iter;
-    (* clear usage marks, keep history *)
-    Array.fill neg.h_use 0 n_res 0;
-    Array.fill neg.v_use 0 n_res 0;
-    Array.fill neg.nh_use 0 n_res 0;
-    Array.fill neg.nv_use 0 n_res 0;
-    Array.fill neg.h_mine 0 n_res (-1);
-    Array.fill neg.v_mine 0 n_res (-1);
-    Array.fill neg.nh_mine 0 n_res (-1);
-    Array.fill neg.nv_mine 0 n_res (-1);
-    let this_round = ref [] in
+  let rounds = ref 0 in
+  let rerouted = ref 0 in
+  while (not !converged) && !rounds < max_iterations do
+    incr rounds;
+    let present_q = max 1 (quantize g !present) in
     let all_routed = ref true in
-    List.iter
-      (fun (ni, sx, sy, gx, gy) ->
-        match
-          astar_negotiated g neg ~via_cost ~present:!present ~net:ni ~sx ~sy ~gx ~gy
-        with
-        | Some path ->
-            tally g neg ~net:ni path;
-            this_round := (ni, path) :: !this_round
-        | None -> all_routed := false)
-      endpoints;
-    paths := !this_round;
+    Array.iteri
+      (fun i (ni, sx, sy, gx, gy) ->
+        let dirty =
+          match paths.(i) with
+          | None -> true
+          | Some (_, res) -> touches_overuse neg res
+        in
+        if dirty then begin
+          incr rerouted;
+          (match paths.(i) with
+          | Some (_, res) ->
+              untally neg res;
+              paths.(i) <- None
+          | None -> ());
+          let costs = negotiated_costs g neg ~present_q ~net:ni in
+          match run_bboxed arena g ~costs ~via_q ~sx ~sy ~gx ~gy with
+          | Some path -> paths.(i) <- Some (path, tally g neg st path)
+          | None -> all_routed := false
+        end)
+      eps;
     (* overuse -> history, and check convergence *)
     let overused = ref false in
     let bump use hist =
@@ -445,7 +239,7 @@ let negotiate_pair g endpoints ~via_cost ~max_iterations =
         (fun i u ->
           if u > 1 then begin
             overused := true;
-            hist.(i) <- hist.(i) +. (g.grid *. float_of_int (u - 1))
+            hist.(i) <- hist.(i) + (qscale * (u - 1))
           end)
         use
     in
@@ -456,9 +250,24 @@ let negotiate_pair g endpoints ~via_cost ~max_iterations =
     converged := !all_routed && not !overused;
     present := !present *. 1.6
   done;
-  if !converged then Some !paths else None
+  if !converged then begin
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match paths.(i) with
+      | Some (path, _) ->
+          let ni, _, _, _, _ = eps.(i) in
+          out := (ni, path) :: !out
+      | None -> assert false
+    done;
+    Some (!out, !rounds, !rerouted)
+  end
+  else None
 
 type algorithm = Sequential | Negotiated
+
+(* [Fast] is the arena/dial-queue core in [Search]; [Legacy] is the
+   frozen pre-overhaul core, kept for benchmarking and cross-checks. *)
+type core = Fast | Legacy
 
 (* everything a finished pair hands back to the merge step: routed
    paths still in pair-local grid indices, plus the gap the pair ended
@@ -467,6 +276,9 @@ type pair_outcome = {
   pair_paths : (int * (int * int * int) list) list; (* (net, path), net order *)
   pair_gap : float;
   pair_expansions : int;
+  pair_node_expansions : int;
+  pair_rounds : int;
+  pair_rerouted : int;
 }
 
 (* Route one row pair start to finish: ordering, pin reservation,
@@ -475,11 +287,14 @@ type pair_outcome = {
    starting gap, tracks gap growth locally — so pairs can run on
    separate domains and still produce bit-identical results in any
    interleaving. *)
-let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
+let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~core ~margin =
   let tech = p.Problem.tech in
   let grid = tech.Tech.grid in
   let gap = ref p.Problem.row_gaps.(r) in
   let expansions = ref 0 in
+  let arena = create_arena () in
+  let rounds = ref 0 in
+  let rerouted = ref 0 in
   (* a net that failed an attempt is promoted to the front of the next
      one: often it just needs first pick of the tracks, which is much
      cheaper than growing the channel *)
@@ -496,6 +311,7 @@ let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
   let rec attempt ~promotions tries =
     let nets = order_nets () in
     let g = make_grid p r ~margin ~gap:!gap in
+    let via_q = quantize g via_cost in
     let to_grid_x x = int_of_float (x /. grid +. 0.5) in
     let to_grid_y y = int_of_float (y /. grid +. 0.5) in
     (* reserve every net's pin-escape edges up front so early-routed nets
@@ -533,10 +349,12 @@ let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
       endpoints;
     let failed = ref None in
     let paths = ref [] in
-    (match algorithm with
-    | Negotiated -> (
-        match negotiate_pair g endpoints ~via_cost ~max_iterations:24 with
-        | Some routed ->
+    (match (algorithm, core) with
+    | Negotiated, Fast -> (
+        match negotiate_pair g arena endpoints ~via_q ~max_iterations:24 with
+        | Some (routed, rds, rr) ->
+            rounds := max !rounds rds;
+            rerouted := !rerouted + rr;
             List.iter
               (fun (ni, path) ->
                 commit g ~net:ni path;
@@ -548,11 +366,37 @@ let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
             match endpoints with
             | (first, _, _, _, _) :: _ -> failed := Some first
             | [] -> ()))
-    | Sequential ->
+    | Negotiated, Legacy -> (
+        match
+          Legacy.negotiate_pair g endpoints ~via_cost ~max_iterations:24
+        with
+        | Some routed ->
+            List.iter
+              (fun (ni, path) ->
+                commit g ~net:ni path;
+                paths := (ni, path) :: !paths)
+              routed
+        | None -> (
+            match endpoints with
+            | (first, _, _, _, _) :: _ -> failed := Some first
+            | [] -> ()))
+    | Sequential, Fast ->
+        List.iter
+          (fun (ni, sx, sy, gx, gy) ->
+            if !failed = None then begin
+              let costs = owned_costs g ~net:ni in
+              match run_bboxed arena g ~costs ~via_q ~sx ~sy ~gx ~gy with
+              | Some path ->
+                  commit g ~net:ni path;
+                  paths := (ni, path) :: !paths
+              | None -> failed := Some ni
+            end)
+          endpoints
+    | Sequential, Legacy ->
         List.iter
           (fun (ni, sx, sy, gx, gy) ->
             if !failed = None then
-              match astar g ~via_cost ~net:ni ~sx ~sy ~gx ~gy with
+              match Legacy.astar g ~via_cost ~net:ni ~sx ~sy ~gx ~gy with
               | Some path ->
                   commit g ~net:ni path;
                   paths := (ni, path) :: !paths
@@ -560,7 +404,14 @@ let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
           endpoints);
     match !failed with
     | None ->
-        { pair_paths = List.rev !paths; pair_gap = !gap; pair_expansions = !expansions }
+        {
+          pair_paths = List.rev !paths;
+          pair_gap = !gap;
+          pair_expansions = !expansions;
+          pair_node_expansions = arena.Search.expansions;
+          pair_rounds = !rounds;
+          pair_rerouted = !rerouted;
+        }
     | Some ni ->
         if promotions < 3 && not (Hashtbl.mem promoted ni) then begin
           Hashtbl.replace promoted ni ();
@@ -576,7 +427,7 @@ let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~margin =
   attempt ~promotions:0 0
 
 let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
-    ?(algorithm = Sequential) p =
+    ?(algorithm = Sequential) ?(core = Fast) p =
   let t0 = Wallclock.now_s () in
   let tech = p.Problem.tech in
   let grid = tech.Tech.grid in
@@ -598,7 +449,7 @@ let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
         try
           Ok
             (route_pair p r ~nets:by_row.(r) ~via_cost ~max_expansions
-               ~algorithm ~margin)
+               ~algorithm ~core ~margin)
         with e -> Error e)
   in
   (* merge in row order: commit gap growth (raising the leftmost
@@ -612,12 +463,18 @@ let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
       | Error e -> raise e)
     outcomes;
   let expansions = ref 0 in
+  let node_expansions = ref 0 in
+  let neg_rounds = ref 0 in
+  let neg_rerouted = ref 0 in
   Array.iteri
     (fun r oc ->
       match oc with
       | Error _ -> assert false
       | Ok oc ->
           expansions := !expansions + oc.pair_expansions;
+          node_expansions := !node_expansions + oc.pair_node_expansions;
+          neg_rounds := max !neg_rounds oc.pair_rounds;
+          neg_rerouted := !neg_rerouted + oc.pair_rerouted;
           let y0 = Problem.row_top p r in
           List.iter
             (fun (ni, path) ->
@@ -630,6 +487,9 @@ let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
   {
     routes;
     expansions = !expansions;
+    node_expansions = !node_expansions;
+    neg_rounds = !neg_rounds;
+    neg_rerouted = !neg_rerouted;
     wirelength;
     total_vias;
     runtime_s = Wallclock.now_s () -. t0;

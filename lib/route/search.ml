@@ -1,0 +1,339 @@
+(* The router's shared A* search core.
+
+   Both routing algorithms — first-come-first-served claiming
+   ([Sequential]) and PathFinder-style negotiation ([Negotiated]) —
+   run the same state-space search over a row pair's grid: states are
+   (node, arrival direction), horizontal runs live on metal 1 and
+   vertical runs on metal 2, a turn is a via. They differ only in
+   what an edge or node-layer slot costs: ownership makes foreign
+   resources infinitely expensive, negotiation prices them. That
+   difference is captured by a {!costs} record of closures; the
+   search body here is the single implementation both modes share.
+
+   Three mechanical properties make this core fast without changing
+   what it computes:
+
+   - {b Quantized integer costs.} Every cost is an integer count of
+     1/16 grid units ({!qscale}). A grid step is exactly 16 quanta,
+     via penalties and congestion prices are rounded to the nearest
+     quantum. Integer arithmetic removes float rounding epsilons from
+     the inner loop and puts priorities on the lattice the
+     {!Dqueue} dial queue needs.
+   - {b An epoch-stamped arena.} [dist]/[parent] arrays are allocated
+     once per row pair and invalidated by bumping a generation
+     counter instead of refilling O(nx*ny*2) floats per net. The
+     dial queue is likewise reused across searches.
+   - {b Bounding-box pruning with provable fallback.} A net is first
+     searched inside its pin bounding box widened by
+     {!bbox_margin} columns. If that window search fails, the caller
+     re-runs on the full grid, so a net is declared unroutable only
+     when the full-grid search — exactly the pre-window behavior —
+     fails. Routability is therefore unchanged; only the (rare)
+     paths whose optimal detour leaves the window can differ, and
+     then by at most the detour the window still admits.
+
+   Determinism: the search is a pure function of the grid, the cost
+   closures and the endpoints. Ties between equal-cost paths resolve
+   by the dial queue's documented FIFO order, which depends only on
+   push order — itself fixed by the (deterministic) expansion order —
+   never on timing or domain count. *)
+
+(* Directions: 0 = horizontal arrival (metal 1), 1 = vertical (metal 2). *)
+let dir_h = 0
+let dir_v = 1
+
+(* A pair grid lives in pair-local coordinates: x from 0 at the row's
+   left edge, y from 0 at the top of row [r]. Keeping the grid free of
+   absolute y lets every row pair be routed on its own domain — a
+   pair's decisions depend only on its own row's cells and its own
+   gap, never on how much space pairs above it grabbed. Absolute
+   coordinates are restored after all pairs finish. *)
+type grid = {
+  nx : int;
+  ny : int;
+  grid : float;
+  blocked : bool array; (* nodes, nx*ny *)
+  blocked_h : bool array; (* nodes where horizontal runs are forbidden
+                             (cell pin edges, region boundaries) *)
+  h_owner : int array; (* edge (ix,iy)-(ix+1,iy) *)
+  v_owner : int array; (* edge (ix,iy)-(ix,iy+1) *)
+  node_h : int array; (* node used by a horizontal run of net i *)
+  node_v : int array;
+}
+
+let node_index g ix iy = (iy * g.nx) + ix
+
+(* ---- cost quantization ---- *)
+
+(* quanta per grid step; a power of two so grid-multiples stay exact *)
+let qscale = 16
+
+let quantize g cost = int_of_float ((cost /. g.grid *. float_of_int qscale) +. 0.5)
+
+(* columns added around a net's pin bounding box before falling back
+   to the full grid *)
+let bbox_margin = 24
+
+(* ---- cost closures ---- *)
+
+(* Per-move pricing. Edge closures return the extra quantized cost of
+   crossing an edge, or a negative value when the edge is forbidden.
+   Node closures split passability (checked at both endpoints of a
+   move on the move's layer) from price (charged on the entered node
+   only, mirroring the original negotiated cost model). *)
+type costs = {
+  edge_h : int -> int;
+  edge_v : int -> int;
+  node_ok_h : int -> bool;
+  node_ok_v : int -> bool;
+  node_price_h : int -> int;
+  node_price_v : int -> int;
+}
+
+(* Sequential claiming: a resource is free for its owner (or unowned)
+   and forbidden for everyone else; there are no soft prices. *)
+let owned_costs g ~net =
+  let pass a idx = a.(idx) = -1 || a.(idx) = net in
+  let zero _ = 0 in
+  {
+    edge_h = (fun i -> if pass g.h_owner i then 0 else -1);
+    edge_v = (fun i -> if pass g.v_owner i then 0 else -1);
+    node_ok_h = pass g.node_h;
+    node_ok_v = pass g.node_v;
+    node_price_h = zero;
+    node_price_v = zero;
+  }
+
+(* Negotiation state: current tenancy counts and accumulated history,
+   all in quantized units. The searching net's own usage is never in
+   [*_use] (its previous path is untallied before it reroutes), so a
+   slot's count is exactly its foreign tenancy. *)
+type neg_state = {
+  h_use : int array;
+  v_use : int array;
+  nh_use : int array;
+  nv_use : int array;
+  h_hist : int array;
+  v_hist : int array;
+  nh_hist : int array;
+  nv_hist : int array;
+}
+
+let make_neg_state g =
+  let n = g.nx * g.ny in
+  {
+    h_use = Array.make n 0;
+    v_use = Array.make n 0;
+    nh_use = Array.make n 0;
+    nv_use = Array.make n 0;
+    h_hist = Array.make n 0;
+    v_hist = Array.make n 0;
+    nh_hist = Array.make n 0;
+    nv_hist = Array.make n 0;
+  }
+
+(* Negotiated pricing: hard constraints are the grid geometry and pin
+   reservations (the owner arrays); foreign tenancy is priced at
+   [present_q] per tenant plus accumulated history. *)
+let negotiated_costs g neg ~present_q ~net =
+  let hard a idx = a.(idx) = -1 || a.(idx) = net in
+  {
+    edge_h =
+      (fun i ->
+        if hard g.h_owner i then (present_q * neg.h_use.(i)) + neg.h_hist.(i)
+        else -1);
+    edge_v =
+      (fun i ->
+        if hard g.v_owner i then (present_q * neg.v_use.(i)) + neg.v_hist.(i)
+        else -1);
+    node_ok_h = hard g.node_h;
+    node_ok_v = hard g.node_v;
+    node_price_h = (fun i -> (present_q * neg.nh_use.(i)) + neg.nh_hist.(i));
+    node_price_v = (fun i -> (present_q * neg.nv_use.(i)) + neg.nv_hist.(i));
+  }
+
+(* ---- the search arena ---- *)
+
+(* One arena serves every search of a row pair: arrays sized to the
+   largest grid seen so far, invalidated per search by bumping
+   [epoch] (a state's [dist]/[parent] are meaningful only when its
+   stamp equals the current epoch). Nothing is re-allocated when the
+   pair retries after promotion or space expansion — the arrays only
+   grow, by doubling, when expansion enlarges the grid. *)
+type arena = {
+  mutable dist : int array; (* quantized g-cost per state *)
+  mutable parent : int array;
+  mutable stamp : int array;
+  mutable epoch : int;
+  queue : Dqueue.t;
+  mutable expansions : int; (* states popped fresh, cumulative *)
+}
+
+let create_arena () =
+  {
+    dist = [||];
+    parent = [||];
+    stamp = [||];
+    epoch = 0;
+    queue = Dqueue.create ();
+    expansions = 0;
+  }
+
+let ensure_arena a n =
+  if Array.length a.dist < n then begin
+    let n' = max n (2 * Array.length a.dist) in
+    a.dist <- Array.make n' 0;
+    a.parent <- Array.make n' 0;
+    (* fresh stamps are 0; the epoch is always >= 1 by then *)
+    a.stamp <- Array.make n' 0
+  end
+
+(* ---- the search itself ---- *)
+
+(* A* for one net between pin escapes, restricted to columns
+   [lo_x..hi_x] (callers pass [0, nx-1] for the full grid). The first
+   move is forced downward out of the source pin; the goal must be
+   entered vertically. Returns the node path source-first, or [None]
+   when the goal is unreachable inside the window. *)
+let run a g ~costs ~via_q ~sx ~sy ~gx ~gy ~lo_x ~hi_x =
+  let nx = g.nx and ny = g.ny in
+  ensure_arena a (nx * ny * 2);
+  a.epoch <- a.epoch + 1;
+  let epoch = a.epoch in
+  Dqueue.clear a.queue;
+  let dist = a.dist and parent = a.parent and stamp = a.stamp in
+  let heuristic ix iy = qscale * (abs (ix - gx) + abs (iy - gy)) in
+  (* forced first move down out of the source pin; like the pre-arena
+     cores, the seed move is never priced *)
+  let seeded =
+    sy + 1 < ny
+    && costs.edge_v (node_index g sx sy) >= 0
+    && (not g.blocked.(node_index g sx (sy + 1)))
+    && costs.node_ok_v (node_index g sx (sy + 1))
+  in
+  let reconstruct goal_state =
+    let rec walk s acc =
+      if s = -2 then acc
+      else
+        let node = s lsr 1 in
+        let ix = node mod nx and iy = node / nx in
+        walk parent.(s) ((ix, iy, s land 1) :: acc)
+    in
+    Some ((sx, sy, dir_v) :: walk goal_state [])
+  in
+  (* straight-shot early exit: when the pins share a column and the
+     whole descent is passable at zero price, that path costs exactly
+     the Manhattan lower bound with zero vias — with via_q > 0 every
+     other path is strictly costlier, so it is the unique optimum and
+     the search can be skipped entirely *)
+  let straight_shot () =
+    sx = gx && via_q > 0 && seeded
+    && begin
+         let ok = ref true in
+         let iy = ref (sy + 1) in
+         while !ok && !iy < gy do
+           let n = node_index g sx !iy in
+           let nn = n + nx in
+           if
+             costs.edge_v n <> 0
+             || (g.blocked.(nn) && not (!iy + 1 = gy))
+             || (not (costs.node_ok_v nn))
+             || costs.node_price_v nn <> 0
+           then ok := false;
+           incr iy
+         done;
+         !ok
+       end
+  in
+  if not seeded then None
+  else if gy > sy && straight_shot () then begin
+    a.expansions <- a.expansions + (gy - sy);
+    let rec steps iy acc =
+      if iy <= sy then acc else steps (iy - 1) ((sx, iy, dir_v) :: acc)
+    in
+    Some ((sx, sy, dir_v) :: steps gy [])
+  end
+  else begin
+    let s0 = (node_index g sx (sy + 1) * 2) + dir_v in
+    dist.(s0) <- qscale;
+    parent.(s0) <- -2;
+    stamp.(s0) <- epoch;
+    Dqueue.push a.queue (qscale + heuristic sx (sy + 1)) s0;
+    let goal_state = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      match Dqueue.pop a.queue with
+      | None -> continue := false
+      | Some (key, s) ->
+          let node = s lsr 1 in
+          let dir = s land 1 in
+          let ix = node mod nx and iy = node / nx in
+          (* an entry is fresh iff its key is the state's current
+             f-value; improvements strictly lower f, so stale entries
+             compare greater and are skipped exactly *)
+          if key = dist.(s) + heuristic ix iy then begin
+            a.expansions <- a.expansions + 1;
+            let d = dist.(s) in
+            if ix = gx && iy = gy && dir = dir_v then begin
+              goal_state := s;
+              continue := false
+            end
+            else begin
+              let try_move nix niy ndir edge_price node_ok node_price =
+                (* the goal node is exempt from the blocked test (it
+                   sits on the region boundary anyway); a run claims
+                   both of an edge's endpoints on its layer, so check
+                   the departing node too *)
+                let nnode = (niy * nx) + nix in
+                if
+                  edge_price >= 0
+                  && ((not g.blocked.(nnode)) || (nix = gx && niy = gy))
+                  && node_ok nnode && node_ok node
+                then begin
+                  let turn = if dir <> ndir then via_q else 0 in
+                  let nd = d + qscale + turn + edge_price + node_price nnode in
+                  let ns = (nnode * 2) + ndir in
+                  if stamp.(ns) <> epoch || nd < dist.(ns) then begin
+                    dist.(ns) <- nd;
+                    parent.(ns) <- s;
+                    stamp.(ns) <- epoch;
+                    Dqueue.push a.queue (nd + heuristic nix niy) ns
+                  end
+                end
+              in
+              let bh_here = g.blocked_h.(node) in
+              (* right / left: pin-edge rows forbid horizontal runs *)
+              if ix + 1 <= hi_x && not (bh_here || g.blocked_h.(node + 1))
+              then
+                try_move (ix + 1) iy dir_h (costs.edge_h node) costs.node_ok_h
+                  costs.node_price_h;
+              if ix - 1 >= lo_x && not (bh_here || g.blocked_h.(node - 1))
+              then
+                try_move (ix - 1) iy dir_h
+                  (costs.edge_h (node - 1))
+                  costs.node_ok_h costs.node_price_h;
+              (* down / up *)
+              if iy + 1 < ny then
+                try_move ix (iy + 1) dir_v (costs.edge_v node) costs.node_ok_v
+                  costs.node_price_v;
+              if iy > 0 then
+                try_move ix (iy - 1) dir_v
+                  (costs.edge_v (node - nx))
+                  costs.node_ok_v costs.node_price_v
+            end
+          end
+    done;
+    if !goal_state < 0 then None else reconstruct !goal_state
+  end
+
+(* Window search with provable fallback: try the pin bounding box
+   widened by [bbox_margin] columns; when that fails, re-run on the
+   full grid so routability matches the unpruned search exactly. *)
+let run_bboxed a g ~costs ~via_q ~sx ~sy ~gx ~gy =
+  let lo_x = max 0 (min sx gx - bbox_margin) in
+  let hi_x = min (g.nx - 1) (max sx gx + bbox_margin) in
+  match run a g ~costs ~via_q ~sx ~sy ~gx ~gy ~lo_x ~hi_x with
+  | Some _ as p -> p
+  | None when lo_x > 0 || hi_x < g.nx - 1 ->
+      run a g ~costs ~via_q ~sx ~sy ~gx ~gy ~lo_x:0 ~hi_x:(g.nx - 1)
+  | None -> None

@@ -1,0 +1,158 @@
+(* Bucketed dial priority queue over non-negative integer keys with
+   integer payloads — the open list of the router's A* core.
+
+   A binary heap pays O(log n) per operation and compares boxed or
+   float priorities; the router's costs live on an integer lattice
+   (grid steps, via penalties and congestion prices are all quantized
+   to 1/16 of a grid unit, see [Search]), so the queue can instead
+   keep one FIFO bucket per distinct key and scan a cursor forward —
+   O(1) pushes, pops amortized over the total key advance.
+
+   Tie-break contract: keys pop in non-decreasing order, and equal
+   keys pop in push (FIFO) order. This is stronger than the binary
+   heap it replaces, whose order among equal priorities depended on
+   heap shape; documenting FIFO makes every tie deterministic and
+   independent of the push history that produced the heap shape.
+
+   Keys need not arrive in non-decreasing order: a push below the
+   cursor moves the cursor back. Buckets are paged (256 buckets per
+   lazily-allocated page) so sparse, far-apart keys — late negotiation
+   rounds price congestion steeply — cost memory proportional to the
+   pages actually touched, and the cursor skips empty pages in one
+   step. [clear] resets the queue for reuse without freeing anything,
+   which is what lets a search arena recycle one queue across every
+   net of a row pair. *)
+
+type bucket = {
+  mutable data : int array;
+  mutable head : int; (* next element to pop *)
+  mutable len : int; (* next free slot *)
+}
+
+type page = {
+  mutable occupied : int; (* buckets with pending elements *)
+  buckets : bucket option array; (* 256 slots *)
+}
+
+type t = {
+  mutable pages : page option array;
+  mutable cur : int; (* no pending key is below this *)
+  mutable size : int;
+  touched_buckets : bucket Vec.t; (* to reset on clear; may hold dups *)
+  touched_pages : page Vec.t;
+}
+
+let page_bits = 8
+let page_size = 1 lsl page_bits
+
+let create () =
+  {
+    pages = [||];
+    cur = 0;
+    size = 0;
+    touched_buckets = Vec.create ();
+    touched_pages = Vec.create ();
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  Vec.iter
+    (fun b ->
+      b.head <- 0;
+      b.len <- 0)
+    t.touched_buckets;
+  Vec.iter (fun p -> p.occupied <- 0) t.touched_pages;
+  Vec.clear t.touched_buckets;
+  Vec.clear t.touched_pages;
+  t.cur <- 0;
+  t.size <- 0
+
+let ensure_pages t n =
+  let cap = Array.length t.pages in
+  if n > cap then begin
+    let cap' = max n (max 8 (2 * cap)) in
+    let pages = Array.make cap' None in
+    Array.blit t.pages 0 pages 0 cap;
+    t.pages <- pages
+  end
+
+let get_page t pi =
+  ensure_pages t (pi + 1);
+  match t.pages.(pi) with
+  | Some p -> p
+  | None ->
+      let p = { occupied = 0; buckets = Array.make page_size None } in
+      t.pages.(pi) <- Some p;
+      p
+
+let get_bucket page slot =
+  match page.buckets.(slot) with
+  | Some b -> b
+  | None ->
+      let b = { data = Array.make 4 0; head = 0; len = 0 } in
+      page.buckets.(slot) <- Some b;
+      b
+
+let push t key v =
+  if key < 0 then invalid_arg "Dqueue.push: negative key";
+  let page = get_page t (key lsr page_bits) in
+  let b = get_bucket page (key land (page_size - 1)) in
+  if b.len = Array.length b.data then
+    if b.head > 0 then begin
+      (* reclaim the popped prefix before growing *)
+      Array.blit b.data b.head b.data 0 (b.len - b.head);
+      b.len <- b.len - b.head;
+      b.head <- 0
+    end
+    else begin
+      let data = Array.make (2 * b.len) 0 in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+  if b.head = b.len then begin
+    (* bucket was empty: register it, and its page if it was idle *)
+    if page.occupied = 0 then ignore (Vec.push t.touched_pages page);
+    page.occupied <- page.occupied + 1;
+    ignore (Vec.push t.touched_buckets b)
+  end;
+  b.data.(b.len) <- v;
+  b.len <- b.len + 1;
+  if key < t.cur then t.cur <- key;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let result = ref None in
+    while !result = None do
+      let pi = t.cur lsr page_bits in
+      match t.pages.(pi) with
+      | None -> t.cur <- (pi + 1) lsl page_bits
+      | Some page when page.occupied = 0 -> t.cur <- (pi + 1) lsl page_bits
+      | Some page ->
+          let slot = ref (t.cur land (page_size - 1)) in
+          let found = ref false in
+          while (not !found) && !slot < page_size do
+            (match page.buckets.(!slot) with
+            | Some b when b.head < b.len ->
+                found := true;
+                let key = (pi lsl page_bits) lor !slot in
+                let v = b.data.(b.head) in
+                b.head <- b.head + 1;
+                if b.head = b.len then begin
+                  b.head <- 0;
+                  b.len <- 0;
+                  page.occupied <- page.occupied - 1
+                end;
+                t.cur <- key;
+                t.size <- t.size - 1;
+                result := Some (key, v)
+            | _ -> ());
+            if not !found then incr slot
+          done;
+          if not !found then t.cur <- (pi + 1) lsl page_bits
+    done;
+    !result
+  end

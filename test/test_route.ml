@@ -197,6 +197,66 @@ let prop_routes_edge_disjoint =
       && r.Router.total_vias
          = Array.fold_left (fun acc rt -> acc + rt.Router.vias) 0 r.Router.routes)
 
+(* Everything that must be deterministic about a routing result —
+   excludes runtime_s. *)
+let fingerprint r =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( r.Router.routes, r.Router.expansions, r.Router.node_expansions,
+            r.Router.neg_rounds, r.Router.neg_rerouted, r.Router.wirelength,
+            r.Router.total_vias )
+          []))
+
+let prop_cores_valid_and_jobs_invariant =
+  (* over random placement seeds: both algorithms × both search cores
+     produce check_routes-clean results, and the fast core is
+     byte-identical at jobs=1 and jobs=4 (pair-local search state plus
+     a fixed merge order make worker count unobservable) *)
+  QCheck.Test.make
+    ~name:"cores valid across seeds; fast core jobs-invariant" ~count:4
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let placed () =
+        let aoi = Circuits.kogge_stone_adder 2 in
+        let aqfp = Synth_flow.run_quiet aoi in
+        let p = Problem.of_netlist Tech.default aqfp in
+        ignore (Placer.place ~seed Placer.Superflow p);
+        p
+      in
+      let route jobs alg core =
+        Parallel.set_jobs jobs;
+        Fun.protect ~finally:Parallel.auto_jobs (fun () ->
+            let p = placed () in
+            let r = Router.route_all ~algorithm:alg ~core p in
+            (Router.check_routes p r = Ok (), fingerprint r))
+      in
+      List.for_all
+        (fun alg ->
+          List.for_all
+            (fun core -> fst (route 1 alg core))
+            [ Router.Fast; Router.Legacy ]
+          &&
+          let ok1, f1 = route 1 alg Router.Fast in
+          let ok4, f4 = route 4 alg Router.Fast in
+          ok1 && ok4 && f1 = f4)
+        [ Router.Sequential; Router.Negotiated ])
+
+let test_fast_matches_legacy_sequential () =
+  (* the fast core is a pure reimplementation of the same search: with
+     the sequential algorithm its QoR must match the legacy core
+     exactly on a real benchmark, not just within tolerance *)
+  let route core =
+    let p = placed_problem "adder8" Placer.Superflow in
+    Router.route_all ~core p
+  in
+  let f = route Router.Fast in
+  let l = route Router.Legacy in
+  Alcotest.(check (float 1e-6))
+    "wirelength" l.Router.wirelength f.Router.wirelength;
+  checki "vias" l.Router.total_vias f.Router.total_vias;
+  checki "space expansions" l.Router.expansions f.Router.expansions
+
 let () =
   Alcotest.run "sf_route"
     [
@@ -216,5 +276,8 @@ let () =
           Alcotest.test_case "preexpand" `Slow test_congestion_preexpand_reduces_expansions;
           Alcotest.test_case "congestion report" `Quick test_congestion_report_renders;
           QCheck_alcotest.to_alcotest prop_routes_edge_disjoint;
+          Alcotest.test_case "fast = legacy (sequential)" `Quick
+            test_fast_matches_legacy_sequential;
+          QCheck_alcotest.to_alcotest prop_cores_valid_and_jobs_invariant;
         ] );
     ]

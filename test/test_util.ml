@@ -47,6 +47,104 @@ let prop_pqueue_sorts =
       in
       drain [] = List.sort compare prios)
 
+(* ---------- Dqueue ---------- *)
+
+let popij = Alcotest.(option (pair int int))
+
+let test_dqueue_basic () =
+  let q = Dqueue.create () in
+  checkb "empty" true (Dqueue.is_empty q);
+  Dqueue.push q 5 50;
+  Dqueue.push q 3 30;
+  Dqueue.push q 5 51;
+  checki "length" 3 (Dqueue.length q);
+  check popij "min key first" (Some (3, 30)) (Dqueue.pop q);
+  check popij "fifo within key" (Some (5, 50)) (Dqueue.pop q);
+  (* a push below the cursor must still come out first *)
+  Dqueue.push q 1 10;
+  check popij "cursor moves back" (Some (1, 10)) (Dqueue.pop q);
+  check popij "rest" (Some (5, 51)) (Dqueue.pop q);
+  check popij "drained" None (Dqueue.pop q);
+  (* clear with a far key (second page) pending, then reuse *)
+  Dqueue.push q 700 7;
+  Dqueue.clear q;
+  checkb "cleared" true (Dqueue.is_empty q);
+  Dqueue.push q 2 20;
+  check popij "reusable after clear" (Some (2, 20)) (Dqueue.pop q)
+
+(* The documented contract, checked against an executable model: keys
+   pop in non-decreasing order and equal keys pop in push (FIFO)
+   order. The model is a stable insertion sort, so any divergence —
+   including a nondeterministic tie-break like the binary heap's —
+   fails the property. Keys span several 256-bucket pages and pops
+   interleave with pushes (exercising cursor moves in both
+   directions). *)
+let prop_dqueue_matches_model =
+  QCheck.Test.make ~name:"dqueue matches stable sorted-FIFO model" ~count:300
+    QCheck.(list (pair bool (int_bound 600)))
+    (fun ops ->
+      let q = Dqueue.create () in
+      let model = ref [] in
+      let insert k v =
+        let rec go = function
+          | ((k', _) :: _) as rest when k' > k -> (k, v) :: rest
+          | kv :: rest -> kv :: go rest
+          | [] -> [ (k, v) ]
+        in
+        model := go !model
+      in
+      let counter = ref 0 in
+      List.for_all
+        (fun (is_push, key) ->
+          if is_push then begin
+            incr counter;
+            Dqueue.push q key !counter;
+            insert key !counter;
+            Dqueue.length q = List.length !model
+          end
+          else
+            match (Dqueue.pop q, !model) with
+            | None, [] -> true
+            | Some (k, v), (mk, mv) :: rest ->
+                model := rest;
+                k = mk && v = mv
+            | _ -> false)
+        ops
+      && List.for_all (fun (mk, mv) -> Dqueue.pop q = Some (mk, mv)) !model
+      && Dqueue.pop q = None)
+
+(* Same priority sequence as the float binary heap it replaces, under
+   interleaved pushes and pops dense with duplicate priorities (the
+   heap's tie order among equal priorities is unspecified, so only
+   the popped priorities are compared, not the payloads). *)
+let prop_dqueue_order_matches_pqueue =
+  QCheck.Test.make ~name:"dqueue priority order matches pqueue" ~count:200
+    QCheck.(list (pair bool (int_bound 40)))
+    (fun ops ->
+      let dq = Dqueue.create () in
+      let pq = Pqueue.create () in
+      List.for_all
+        (fun (is_push, key) ->
+          if is_push then begin
+            Dqueue.push dq key key;
+            Pqueue.push pq (float_of_int key) key;
+            Dqueue.length dq = Pqueue.length pq
+          end
+          else
+            match (Dqueue.pop dq, Pqueue.pop pq) with
+            | None, None -> true
+            | Some (k, _), Some (p, _) -> float_of_int k = p
+            | _ -> false)
+        ops
+      &&
+      let rec drain () =
+        match (Dqueue.pop dq, Pqueue.pop pq) with
+        | None, None -> true
+        | Some (k, _), Some (p, _) -> float_of_int k = p && drain ()
+        | _ -> false
+      in
+      drain ())
+
 (* ---------- Union_find ---------- *)
 
 let test_uf_basic () =
@@ -220,6 +318,12 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
           QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+        ] );
+      ( "dqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_dqueue_basic;
+          QCheck_alcotest.to_alcotest prop_dqueue_matches_model;
+          QCheck_alcotest.to_alcotest prop_dqueue_order_matches_pqueue;
         ] );
       ("union_find", [ Alcotest.test_case "basic" `Quick test_uf_basic ]);
       ( "vec",
