@@ -11,9 +11,10 @@
 let layer_m1 = 10
 let layer_m2 = 11
 
-(* 1 nm quantization: route endpoints equal pin coordinates to within
-   the router's 1e-6 um tolerance, far inside one quantum *)
-let quant x = int_of_float (Float.round (x *. 1000.0))
+(* 1 nm quantization via the shared sf_geom snap: route endpoints equal
+   pin coordinates to within the router's 1e-6 um tolerance, far inside
+   one quantum *)
+let quant = Igeom.of_um
 
 type pinset = { mutable srcs : int list; mutable dsts : int list }
 

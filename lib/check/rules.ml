@@ -74,16 +74,36 @@ let all =
     e "DB-VERSION-01" Diag.Error "sf_db"
       "A stored frame's format version does not match this build (stale \
        cache after a codec bump).";
-    e "DRC-CELL-OVERLAP" Diag.Error "drc" "Two placed cells overlap.";
-    e "DRC-CELL-SPACING" Diag.Error "drc" "Two cells sit closer than the minimum spacing.";
-    e "DRC-DENSITY" Diag.Error "drc" "A window's metal density exceeds the process limit.";
-    e "DRC-OFF-GRID" Diag.Error "drc" "A shape is off the manufacturing grid.";
-    e "DRC-VIA-ALIGNMENT" Diag.Error "drc" "A via is not aligned with both its wire layers.";
-    e "DRC-WIRE-OVERLAP" Diag.Error "drc" "Two same-layer wires of different nets overlap.";
+    e "DRC-AREA-01" Diag.Error "drc"
+      "A single drawn metal shape is smaller than the minimum area.";
+    e "DRC-CELL-OVERLAP" Diag.Error "drc" "Two placed cell bodies overlap.";
+    e "DRC-CELL-SPACING" Diag.Error "drc"
+      "Two cells in the same row sit closer than the minimum cell gap.";
+    e "DRC-DENSITY" Diag.Error "drc"
+      "A sliding window's metal density exceeds the process limit.";
+    e "DRC-EOL-01" Diag.Error "drc"
+      "Foreign same-layer metal intrudes into the end-of-line extension \
+       region ahead of a wire's endcap.";
+    e "DRC-NOTCH-01" Diag.Error "drc"
+      "Same-net same-layer metal re-approaches itself closer than the notch \
+       spacing without touching.";
+    e "DRC-OFF-GRID" Diag.Error "drc"
+      "A cell origin or wire endpoint is off the manufacturing grid.";
+    e "DRC-VIA-ALIGNMENT" Diag.Error "drc"
+      "A via does not join wire endpoints on both routing layers.";
+    e "DRC-VIA-ENCLOSE-01" Diag.Error "drc"
+      "A via cut is not enclosed by same-net metal with the required margin \
+       on every routing layer (landing-pad rule).";
+    e "DRC-WIDTH-01" Diag.Error "drc"
+      "A drawn metal shape is narrower than the minimum width.";
+    e "DRC-WIRE-OVERLAP" Diag.Error "drc"
+      "Same-layer metal of two different nets overlaps (a short).";
     e "DRC-WIRE-SPACING" Diag.Error "drc"
-      "Two same-layer wires sit closer than the minimum spacing.";
+      "Different-net same-layer metal sits closer than the minimum edge gap \
+       (corner-aware Euclidean metric).";
     e "DRC-ZIGZAG-SPACING" Diag.Error "drc"
-      "Zig-zag wire segments violate the bent-wire spacing rule.";
+      "A via-to-via wire run is shorter than s_min (the paper's zig-zag \
+       bent-wire rule).";
     e "EQ-ARITY-01" Diag.Error "equiv"
       "The two netlists being compared have different primary input/output \
        counts; no per-output proof was attempted.";

@@ -11,7 +11,7 @@ type result = {
   problem : Problem.t;
   routing : Router.result;
   layout : Layout.t;
-  violations : Drc.violation list;
+  violations : Diag.t list;
   synth_report : Synth_flow.report;
   placement : Placer.result;
   sta : Sta.report;
@@ -21,17 +21,6 @@ type result = {
   check_report : Check.report option;
   times : times;
 }
-
-(* DRC violations folded into the diagnostics vocabulary: rule ids
-   become DRC-<RULE>, located at the violation coordinate *)
-let diags_of_drc violations =
-  List.map
-    (fun v ->
-      Diag.error
-        ~rule:("DRC-" ^ String.uppercase_ascii v.Drc.rule)
-        (Diag.At (v.Drc.at.Geom.x, v.Drc.at.Geom.y))
-        "%s" v.Drc.detail)
-    violations
 
 let check_passes ?(tier = Check.Fast) ?absint_cache r =
   [
@@ -47,7 +36,7 @@ let check_passes ?(tier = Check.Fast) ?absint_cache r =
           | Ok () -> []
           | Error e ->
               [ Diag.error ~rule:"RT-CONN-01" Diag.Global "%s" e ]);
-      Check.of_diags "drc" (diags_of_drc r.violations);
+      Check.of_diags "drc" r.violations;
       Check.pass "lvs" (fun () -> Lvs.check r.problem r.layout);
     ]
 
@@ -97,7 +86,7 @@ type staged = {
   db_warnings : Diag.t list;
   synth : (Netlist.t * Synth_flow.report) option;
   placed : (Netlist.t * Problem.t * Placer.result * int) option;
-  routed : (Router.result * Problem.t * Drc.violation list * int) option;
+  routed : (Router.result * Problem.t * Diag.t list * int) option;
   built : (Layout.t * Sta.report * Energy.report) option;
   checked : Check.report option;
   result : result option;
@@ -105,7 +94,7 @@ type staged = {
 
 (* engine format tag: part of every cache key, so changing the stage
    graph (not just one codec) invalidates the whole cache *)
-let graph_version = "sf-flow-graph-3"
+let graph_version = "sf-flow-graph-4"
 
 exception Stage_failed of Diag.t
 
@@ -125,6 +114,24 @@ let scalar scalars name =
   | None -> Error (slot_err name)
 
 let put db codec v = Db.put_object db (codec.Artifact.encode v)
+
+(* DRC tile verdicts memoize through the proof store under their
+   content-hash keys ("drct1:"/"drcd1:"), so an ECO rerun re-checks
+   only the tiles whose geometry changed; decode failures (stale
+   codec) degrade to a recompute-and-overwrite *)
+let drc_cache_of_db dbh =
+  {
+    Drc.find =
+      (fun k ->
+        match Db.find_proof dbh ~key:k with
+        | None -> None
+        | Some s -> (
+            match Artifact.diags.Artifact.decode s with
+            | Ok ds -> Some ds
+            | Error _ -> None));
+    store =
+      (fun k ds -> Db.put_proof dbh ~key:k (Artifact.diags.Artifact.encode ds));
+  }
 
 let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     ?(router = Router.Sequential) ?(seed = 1) ?jobs ?db ?(from_stage = Synth)
@@ -369,10 +376,13 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                        ],
                        [ ("fix_rounds", rounds) ] ))
                    ~compute:(fun () ->
+                     let drc_cache = Option.map drc_cache_of_db db in
                      let routing0 = Router.route_all ~algorithm:router p in
                      let rec fix_loop routing rounds =
                        let layout = Layout.build p routing in
-                       let violations = Drc.check layout in
+                       let violations =
+                         (Drc.check ?cache:drc_cache layout).Drc.diags
+                       in
                        if violations = [] || rounds >= 3 then begin
                          memo := Some layout;
                          (routing, p, violations, rounds)

@@ -23,7 +23,9 @@ type result = {
   problem : Problem.t;  (** final placed problem *)
   routing : Router.result;
   layout : Layout.t;
-  violations : Drc.violation list;  (** remaining after the fix loop *)
+  violations : Diag.t list;
+      (** residual DRC diagnostics after the fix loop, sorted with
+          {!Diag.compare} (empty = clean signoff) *)
   synth_report : Synth_flow.report;
   placement : Placer.result;
   sta : Sta.report;
@@ -36,6 +38,11 @@ type result = {
           placement audit, route connectivity, DRC and LVS-lite *)
   times : times;
 }
+
+val drc_cache_of_db : Db.t -> Drc.cache
+(** DRC tile-verdict memo wired to the database's proof store — what
+    the [route] stage (and [superflow drc]) attach so an ECO rerun
+    re-checks only the tiles whose geometry changed. *)
 
 val check_passes :
   ?tier:Check.tier ->
@@ -97,7 +104,7 @@ type staged = {
   placed : (Netlist.t * Problem.t * Placer.result * int) option;
       (** buffered AQFP netlist, placed problem, placement report,
           buffer lines *)
-  routed : (Router.result * Problem.t * Drc.violation list * int) option;
+  routed : (Router.result * Problem.t * Diag.t list * int) option;
       (** routing, problem with final row gaps, residual violations,
           fix rounds *)
   built : (Layout.t * Sta.report * Energy.report) option;

@@ -592,19 +592,8 @@ let check_report =
 (* ---- DRC violations ---- *)
 
 let drc =
-  make ~kind:"drc" ~version:1
-    (fun b vs ->
-      w_list
-        (fun b (v : Drc.violation) ->
-          w_string b v.Drc.rule;
-          w_point b v.Drc.at;
-          w_string b v.Drc.detail)
-        b vs)
-    (fun r ->
-      r_list
-        (fun r ->
-          let rule = r_string r in
-          let at = r_point r in
-          let detail = r_string r in
-          { Drc.rule; at; detail })
-        r)
+  (* v2: full witness-carrying diagnostics (the old ad-hoc
+     rule/point/detail triple is gone with the string-rule checker) *)
+  make ~kind:"drc" ~version:2
+    (fun b ds -> w_list w_diag b ds)
+    (fun r -> r_list r_diag r)

@@ -39,7 +39,7 @@ val sta : Sta.report codec
 val energy : Energy.report codec
 val synth_report : Synth_flow.report codec
 val check_report : Check.report codec
-val drc : Drc.violation list codec
+val drc : Diag.t list codec
 
 val diags : Diag.t list codec
 (** A bare diagnostic list — the payload of the [sf_absint] memo

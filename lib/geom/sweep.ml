@@ -1,0 +1,70 @@
+(* Plane sweep for all close pairs of rectangles.
+
+   Rectangles are processed left to right (by low-x, index as the tie
+   break). Before inserting rect i the active set is pruned of every
+   rect whose right edge is more than [dist] behind i's left edge; the
+   survivors are exactly the rects with x-separation < dist from i.
+   The active set is an ordered map keyed by (low-y, index), so the
+   y-candidates come from one contiguous key range:
+
+     j.hy > i.ly - dist  implies  j.ly > i.ly - dist - max_h
+
+   where max_h is the tallest rectangle in the input. Both maps cost
+   O(log n) per operation, for O(n log n + k) overall with k the
+   number of reported pairs (plus the usual slack when heights vary
+   wildly — cells and wires here are within one order of magnitude).
+
+   The sweep is deterministic: same input array, same callback order. *)
+
+module M = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let close_pairs ~dist (rects : Igeom.irect array) f =
+  let n = Array.length rects in
+  if n > 1 then begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> compare (rects.(a).Igeom.lx, a) (rects.(b).Igeom.lx, b))
+      order;
+    let max_h = ref 0 in
+    Array.iter (fun r -> max_h := max !max_h (Igeom.height r)) rects;
+    let max_h = !max_h in
+    (* active: (ly, idx) -> idx  |  expiry: (hx, idx) -> (ly, idx) *)
+    let active = ref M.empty and expiry = ref M.empty in
+    Array.iter
+      (fun i ->
+        let ri = rects.(i) in
+        (* retire rects too far left to matter: keep j iff j.hx > i.lx - dist *)
+        let rec retire () =
+          match M.min_binding_opt !expiry with
+          | Some ((hx, _), akey) when hx <= ri.Igeom.lx - dist ->
+              expiry := M.remove (hx, snd akey) !expiry;
+              active := M.remove akey !active;
+              retire ()
+          | _ -> ()
+        in
+        retire ();
+        (* y-range query over the survivors *)
+        let lo = (ri.Igeom.ly - dist - max_h, min_int) in
+        let seq = M.to_seq_from lo !active in
+        let rec scan s =
+          match s () with
+          | Seq.Nil -> ()
+          | Seq.Cons (((ly, _), j), tl) ->
+              if ly >= ri.Igeom.hy + dist then ()
+              else begin
+                let rj = rects.(j) in
+                if
+                  Igeom.gap_x ri rj < dist && Igeom.gap_y ri rj < dist
+                then f (min i j) (max i j);
+                scan tl
+              end
+        in
+        scan seq;
+        active := M.add (ri.Igeom.ly, i) i !active;
+        expiry := M.add (ri.Igeom.hx, i) (ri.Igeom.ly, i) !expiry)
+      order
+  end

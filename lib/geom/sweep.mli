@@ -1,0 +1,11 @@
+(** Scanline all-pairs proximity over axis-aligned rectangles. *)
+
+val close_pairs : dist:int -> Igeom.irect array -> (int -> int -> unit) -> unit
+(** [close_pairs ~dist rects f] calls [f i j] (with [i < j]) exactly
+    once for every unordered pair whose projections are separated by
+    strictly less than [dist] in {e both} axes — i.e. every pair whose
+    expanded bounding boxes meet. Overlapping and touching pairs have
+    separation 0 and are always reported (for [dist > 0]). The caller
+    refines with the exact metric it wants ({!Igeom.sep2},
+    {!Igeom.overlaps}, …). O(n log n + k); deterministic callback
+    order. *)

@@ -1,0 +1,57 @@
+type t = {
+  x0 : int;
+  y0 : int;
+  size : int;
+  halo : int;
+  nx : int;
+  ny : int;
+}
+
+(* The grid is anchored at the bbox corner rounded *down* to a tile
+   multiple, so a small geometry change that does not cross a multiple
+   leaves every other tile's footprint (and hence its content hash)
+   untouched. *)
+let floor_to m x = if x >= 0 then x / m * m else -(((-x) + m - 1) / m * m)
+
+let make ~bbox ~size ~halo =
+  if size <= 0 then invalid_arg "Tile.make: size must be positive";
+  let x0 = floor_to size bbox.Igeom.lx and y0 = floor_to size bbox.Igeom.ly in
+  let span_x = max 1 (bbox.Igeom.hx - x0) and span_y = max 1 (bbox.Igeom.hy - y0) in
+  let nx = (span_x + size - 1) / size and ny = (span_y + size - 1) / size in
+  { x0; y0; size; halo; nx = max 1 nx; ny = max 1 ny }
+
+let count t = t.nx * t.ny
+
+let proper t i =
+  let ix = i mod t.nx and iy = i / t.nx in
+  {
+    Igeom.lx = t.x0 + (ix * t.size);
+    ly = t.y0 + (iy * t.size);
+    hx = t.x0 + ((ix + 1) * t.size);
+    hy = t.y0 + ((iy + 1) * t.size);
+  }
+
+let with_halo t i = Igeom.expand (proper t i) t.halo
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let owner t x y =
+  let ix = clamp 0 (t.nx - 1) ((x - t.x0) / t.size) in
+  let iy = clamp 0 (t.ny - 1) ((y - t.y0) / t.size) in
+  (iy * t.nx) + ix
+
+let iter_touching t r f =
+  (* tiles whose halo rect meets [r] = tiles whose proper rect meets
+     [r] expanded by the halo (closed, so shapes on a halo boundary
+     are still binned — ownership, not binning, dedups) *)
+  let g = Igeom.expand r t.halo in
+  let ix0 = clamp 0 (t.nx - 1) ((g.Igeom.lx - t.x0) / t.size) in
+  let ix1 = clamp 0 (t.nx - 1) ((g.Igeom.hx - t.x0) / t.size) in
+  let iy0 = clamp 0 (t.ny - 1) ((g.Igeom.ly - t.y0) / t.size) in
+  let iy1 = clamp 0 (t.ny - 1) ((g.Igeom.hy - t.y0) / t.size) in
+  for iy = iy0 to iy1 do
+    for ix = ix0 to ix1 do
+      let i = (iy * t.nx) + ix in
+      if Igeom.touches (with_halo t i) r then f i
+    done
+  done

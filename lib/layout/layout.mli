@@ -45,6 +45,19 @@ type t = {
 val wire_width : float
 (** Drawn PTL width, µm (2.0). *)
 
+val layer_outline : int
+val layer_jj : int
+val layer_pin : int
+val layer_m1 : int
+val layer_m2 : int
+val layer_via : int
+val layer_label : int
+val layer_ac1 : int
+val layer_ac2 : int
+val layer_dc : int
+(** The GDS layer map above, as constants (DRC and the writers share
+    them). *)
+
 val build : Problem.t -> Router.result -> t
 (** Assemble geometry. Wire segments come from the route polylines:
     horizontal runs on metal 1, vertical runs on metal 2, a via at

@@ -16,7 +16,7 @@ let test_flow_end_to_end () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
   Alcotest.(check (list string)) "drc clean" []
-    (List.map (fun v -> v.Drc.rule) r.Flow.violations);
+    (List.map Diag.to_string r.Flow.violations);
   (* the GDS on disk parses and contains the design *)
   (match Gds.read_file path with
   | Ok lib ->
@@ -86,7 +86,7 @@ let test_flow_all_placers () =
       Alcotest.(check (list string))
         (Placer.algorithm_name alg ^ " drc")
         []
-        (List.map (fun v -> v.Drc.rule) r.Flow.violations))
+        (List.map Diag.to_string r.Flow.violations))
     [ Placer.Gordian; Placer.Taas; Placer.Superflow ]
 
 let test_flow_deterministic () =
@@ -104,7 +104,7 @@ let test_flow_medium_benchmark () =
   checkb "jj after routing >= jj after synthesis" true
     (Problem.jj_count r.Flow.problem >= r.Flow.synth_report.Synth_flow.jjs);
   Alcotest.(check (list string)) "drc clean" []
-    (List.map (fun v -> v.Drc.rule) r.Flow.violations)
+    (List.map Diag.to_string r.Flow.violations)
 
 let test_report_tables_shapes () =
   (* Table II measurement has the paper's structural invariants *)

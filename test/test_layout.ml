@@ -162,13 +162,17 @@ let test_layout_bias_network () =
 
 (* ---------- DRC ---------- *)
 
+let diag_strings ds = List.map Diag.to_string ds
+
 let test_drc_clean_on_routed_design () =
   let p, r = routed_design () in
   let layout = Layout.build p r in
-  let violations = Drc.check layout in
-  Alcotest.(check (list string)) "clean"
-    []
-    (List.map (fun v -> v.Drc.rule ^ ": " ^ v.Drc.detail) violations)
+  Alcotest.(check (list string))
+    "clean" []
+    (diag_strings (Drc.check layout).Drc.diags);
+  Alcotest.(check (list string))
+    "brute clean" []
+    (diag_strings (Drc.check_brute layout))
 
 let perturb_layout layout f =
   let cells = Array.map (fun c -> c) layout.Layout.cells in
@@ -177,7 +181,98 @@ let perturb_layout layout f =
   f cells wires vias;
   { layout with Layout.cells; wires; vias }
 
-let test_drc_detects_cell_overlap () =
+(* Synthetic layouts: one hand-built geometry per rule id. [fires]
+   doubles as an engine/brute-force agreement check on each of them. *)
+
+let m1 = Layout.layer_m1
+let m2 = Layout.layer_m2
+
+let wire net layer x1 y1 x2 y2 =
+  { Layout.net; layer; a = Geom.pt x1 y1; b = Geom.pt x2 y2 }
+
+let via net x y = { Layout.net; at = Geom.pt x y }
+
+let lay ?(cells = [||]) ?(wires = [||]) ?(vias = [||]) () =
+  {
+    Layout.tech = Tech.default;
+    cells;
+    wires;
+    vias;
+    bias = [||];
+    die = Geom.rect 0.0 0.0 400.0 400.0;
+  }
+
+let deck0 () = Drc.deck_of_tech Tech.default
+
+let fires ?deck rule layout =
+  let tiled = (Drc.check ?deck layout).Drc.diags in
+  let brute = Drc.check_brute ?deck layout in
+  checkb (rule ^ " fires") true
+    (List.exists (fun (d : Diag.t) -> d.Diag.rule = rule) tiled);
+  Alcotest.(check (list string))
+    (rule ^ ": tiled = brute") (diag_strings brute) (diag_strings tiled)
+
+let test_rule_wire_spacing () =
+  fires "DRC-WIRE-SPACING"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 50.0 0.0; wire 1 m1 0.0 6.0 50.0 6.0 |] ())
+
+let test_rule_wire_overlap () =
+  fires "DRC-WIRE-OVERLAP"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 50.0 0.0; wire 1 m1 30.0 0.0 80.0 0.0 |] ())
+
+let test_rule_notch () =
+  (* same net re-approaching itself without touching *)
+  fires "DRC-NOTCH-01"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 50.0 0.0; wire 0 m1 0.0 6.0 50.0 6.0 |] ())
+
+let test_rule_eol () =
+  (* foreign metal 4 µm ahead of a line end (edge gap < eol = 8 µm) *)
+  fires "DRC-EOL-01"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 20.0 0.0; wire 1 m1 25.0 (-10.0) 25.0 10.0 |] ())
+
+let test_rule_zigzag () =
+  fires "DRC-ZIGZAG-SPACING"
+    (lay
+       ~wires:[| wire 0 m1 0.0 0.0 6.0 0.0 |]
+       ~vias:[| via 0 0.0 0.0; via 0 6.0 0.0 |]
+       ())
+
+let test_rule_via_alignment () =
+  fires "DRC-VIA-ALIGNMENT" (lay ~vias:[| via 0 100.0 100.0 |] ())
+
+let test_rule_via_enclose () =
+  (* both layers land (alignment passes) but a 2 µm enclosure demand
+     exceeds the endcap's 1 µm reach around the cut *)
+  fires
+    ~deck:{ (deck0 ()) with Drc.via_enclosure = 2000 }
+    "DRC-VIA-ENCLOSE-01"
+    (lay
+       ~wires:[| wire 0 m1 0.0 0.0 20.0 0.0; wire 0 m2 0.0 0.0 0.0 (-20.0) |]
+       ~vias:[| via 0 0.0 0.0 |]
+       ())
+
+let test_rule_width () =
+  fires
+    ~deck:{ (deck0 ()) with Drc.min_width = 3000 }
+    "DRC-WIDTH-01"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 20.0 0.0 |] ())
+
+let test_rule_area () =
+  fires
+    ~deck:{ (deck0 ()) with Drc.min_area = 100_000_000 }
+    "DRC-AREA-01"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 10.0 0.0 |] ())
+
+let test_rule_off_grid () =
+  fires "DRC-OFF-GRID" (lay ~wires:[| wire 0 m1 3.0 0.0 23.0 0.0 |] ())
+
+let test_rule_density () =
+  fires
+    ~deck:{ (deck0 ()) with Drc.max_density = 0.0 }
+    "DRC-DENSITY"
+    (lay ~wires:[| wire 0 m1 0.0 0.0 50.0 0.0 |] ())
+
+let test_rule_cell_overlap () =
   let p, r = routed_design () in
   let layout = Layout.build p r in
   let bad =
@@ -194,55 +289,193 @@ let test_drc_detects_cell_overlap () =
             let idx = ref 0 in
             Array.iteri (fun i c -> if c == c1 then idx := i) cells;
             cells.(!idx) <-
-              { c1 with Layout.origin = Geom.pt (c0.Layout.origin.Geom.x +. 10.0) c0.Layout.origin.Geom.y }
+              {
+                c1 with
+                Layout.origin =
+                  Geom.pt (c0.Layout.origin.Geom.x +. 10.0)
+                    c0.Layout.origin.Geom.y;
+              }
         | [] -> ())
   in
-  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
-  checkb "overlap found" true (List.mem "cell-overlap" rules)
+  fires "DRC-CELL-OVERLAP" bad
 
-let test_drc_detects_offgrid () =
+let test_rule_cell_spacing () =
+  let p, r = routed_design () in
+  let layout = Layout.build p r in
+  let bad =
+    perturb_layout layout (fun cells _ _ ->
+        let c0 = cells.(0) in
+        let same_row =
+          Array.to_list cells
+          |> List.filter (fun c ->
+                 c.Layout.origin.Geom.y = c0.Layout.origin.Geom.y && c != c0)
+        in
+        match same_row with
+        | c1 :: _ ->
+            let idx = ref 0 in
+            Array.iteri (fun i c -> if c == c1 then idx := i) cells;
+            (* 4 µm gap: under s_min but no overlap *)
+            cells.(!idx) <-
+              {
+                c1 with
+                Layout.origin =
+                  Geom.pt
+                    (c0.Layout.origin.Geom.x +. c0.Layout.lib.Cell.width +. 4.0)
+                    c0.Layout.origin.Geom.y;
+              }
+        | [] -> ())
+  in
+  fires "DRC-CELL-SPACING" bad
+
+let test_rule_cell_off_grid () =
   let p, r = routed_design () in
   let layout = Layout.build p r in
   let bad =
     perturb_layout layout (fun cells _ _ ->
         let c = cells.(0) in
-        cells.(0) <- { c with Layout.origin = Geom.pt (c.Layout.origin.Geom.x +. 3.0) c.Layout.origin.Geom.y })
+        cells.(0) <-
+          {
+            c with
+            Layout.origin =
+              Geom.pt (c.Layout.origin.Geom.x +. 3.0) c.Layout.origin.Geom.y;
+          })
   in
-  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
-  checkb "off-grid found" true (List.mem "off-grid" rules)
+  fires "DRC-OFF-GRID" bad
 
-let test_drc_detects_wire_overlap () =
+(* ---- randomized engine vs. brute-force equality ---- *)
+
+let random_layout seed =
+  Random.init (1000 + seed);
+  let coord () = float_of_int (10 * Random.int 40) in
+  let n_wires = 20 + Random.int 40 in
+  let wires =
+    Array.init n_wires (fun _ ->
+        let net = Random.int 6 in
+        let x = coord () and y = coord () in
+        let len = float_of_int (10 * (1 + Random.int 15)) in
+        let horiz = Random.bool () in
+        let x2 = if horiz then x +. len else x
+        and y2 = if horiz then y else y +. len in
+        let layer =
+          (* occasionally the "wrong" layer for the orientation *)
+          if Random.int 10 = 0 then if horiz then m2 else m1
+          else if horiz then m1
+          else m2
+        in
+        let jitter v = if Random.int 12 = 0 then v +. 3.0 else v in
+        wire net layer (jitter x) (jitter y) x2 y2)
+  in
+  let n_vias = Random.int 8 in
+  let vias =
+    Array.init n_vias (fun _ ->
+        if Random.bool () then
+          let w = wires.(Random.int n_wires) in
+          via w.Layout.net w.Layout.a.Geom.x w.Layout.a.Geom.y
+        else via (Random.int 6) (coord ()) (coord ()))
+  in
+  lay ~wires ~vias ()
+
+let test_drc_matches_brute_on_random_layouts () =
+  let nonempty = ref 0 in
+  for seed = 1 to 30 do
+    let layout = random_layout seed in
+    let tiled = (Drc.check layout).Drc.diags in
+    let brute = Drc.check_brute layout in
+    if brute <> [] then incr nonempty;
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: tiled = brute" seed)
+      (diag_strings brute) (diag_strings tiled)
+  done;
+  (* the layouts are dense enough that most runs find something *)
+  checkb "violations exercised" true (!nonempty > 20)
+
+let test_drc_tile_straddling () =
+  (* violating pairs deliberately spanning the 120 µm tile boundaries *)
+  let wires =
+    [|
+      wire 0 m1 0.0 118.0 400.0 118.0;
+      wire 1 m1 0.0 124.0 400.0 124.0;
+      wire 2 m2 118.0 0.0 118.0 400.0;
+      wire 3 m2 124.0 0.0 124.0 400.0;
+    |]
+  in
+  let layout = lay ~wires () in
+  let tiled = Drc.check layout in
+  let brute = Drc.check_brute layout in
+  checkb "spans several tiles" true (tiled.Drc.stats.Drc.tiles_total > 1);
+  checkb "found the straddling pairs" true (brute <> []);
+  Alcotest.(check (list string))
+    "tiled = brute" (diag_strings brute)
+    (diag_strings tiled.Drc.diags)
+
+let test_drc_jobs_deterministic () =
+  let layout = random_layout 7 in
+  Parallel.set_jobs 1;
+  let a = (Drc.check layout).Drc.diags in
+  Parallel.set_jobs 4;
+  let b = (Drc.check layout).Drc.diags in
+  Parallel.auto_jobs ();
+  Alcotest.(check (list string)) "jobs 1 = jobs 4" (diag_strings a) (diag_strings b)
+
+(* ---- tile-incremental rechecks through an in-memory cache ---- *)
+
+let test_drc_eco_incremental () =
   let p, r = routed_design () in
-  let layout = Layout.build p r in
-  let bad =
-    perturb_layout layout (fun _ wires _ ->
-        (* duplicate wire 0 under a different net id *)
+  let layout_a = Layout.build p r in
+  (* a small tile so the design spans many of them *)
+  let deck = { (deck0 ()) with Drc.tile = 40_000 } in
+  let tbl : (string, Diag.t list) Hashtbl.t = Hashtbl.create 64 in
+  let cache = { Drc.find = Hashtbl.find_opt tbl; store = Hashtbl.replace tbl } in
+  let ra = Drc.check ~deck ~cache layout_a in
+  checki "cold run checks every tile" ra.Drc.stats.Drc.tiles_total
+    ra.Drc.stats.Drc.tiles_checked;
+  (* warm, unchanged: nothing recomputes, output identical *)
+  let ra2 = Drc.check ~deck ~cache layout_a in
+  checki "warm run recomputes nothing" 0 ra2.Drc.stats.Drc.tiles_checked;
+  checkb "warm density cached" true ra2.Drc.stats.Drc.density_cached;
+  Alcotest.(check (list string))
+    "warm = cold" (diag_strings ra.Drc.diags) (diag_strings ra2.Drc.diags);
+  (* ECO: nudge one wire off grid — only nearby tiles go dirty *)
+  let layout_b =
+    perturb_layout layout_a (fun _ wires _ ->
         let w = wires.(0) in
-        wires.(1) <- { w with Layout.net = w.Layout.net + 1_000_000 })
+        wires.(0) <-
+          {
+            w with
+            Layout.a = Geom.pt (w.Layout.a.Geom.x +. 3.0) w.Layout.a.Geom.y;
+            b = Geom.pt (w.Layout.b.Geom.x +. 3.0) w.Layout.b.Geom.y;
+          })
   in
-  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
-  checkb "wire overlap found" true (List.mem "wire-overlap" rules)
-
-let test_drc_detects_dangling_via () =
-  let p, r = routed_design () in
-  let layout = Layout.build p r in
-  let bad =
-    perturb_layout layout (fun _ _ vias ->
-        if Array.length vias > 0 then
-          vias.(0) <- { vias.(0) with Layout.at = Geom.pt 99990.0 99990.0 })
-  in
-  let rules = List.map (fun v -> v.Drc.rule) (Drc.check bad) in
-  checkb "via violation found" true (List.mem "via-alignment" rules)
+  let rb_warm = Drc.check ~deck ~cache layout_b in
+  let rb_cold = Drc.check ~deck layout_b in
+  Alcotest.(check (list string))
+    "warm ECO = cold ECO"
+    (diag_strings rb_cold.Drc.diags)
+    (diag_strings rb_warm.Drc.diags);
+  checkb "ECO found" true (rb_warm.Drc.diags <> []);
+  checkb "only dirty tiles re-checked" true
+    (rb_warm.Drc.stats.Drc.tiles_checked < rb_warm.Drc.stats.Drc.tiles_total);
+  checkb "most tiles served from cache" true
+    (rb_warm.Drc.stats.Drc.tiles_cached > 0)
 
 let test_gap_hints () =
   let p, r = routed_design () in
   let layout = Layout.build p r in
   let fake =
-    [ { Drc.rule = "wire-spacing"; at = Geom.pt 10.0 (Problem.row_top p 1 +. 5.0); detail = "x" } ]
+    [
+      Diag.error ~rule:"DRC-WIRE-SPACING"
+        (Diag.At (10.0, Problem.row_top p 1 +. 5.0))
+        "synthetic congestion";
+    ]
   in
   (match Drc.gap_hints p fake with
   | [ g ] -> checkb "gap near row 1" true (g = 0 || g = 1)
   | other -> Alcotest.failf "expected one hint, got %d" (List.length other));
+  (* rules outside the congestion set produce no hints *)
+  checkb "off-grid produces no hint" true
+    (Drc.gap_hints p
+       [ Diag.error ~rule:"DRC-OFF-GRID" (Diag.At (10.0, 5.0)) "x" ]
+    = []);
   ignore layout
 
 let test_svg_render () =
@@ -404,10 +637,26 @@ let () =
       ( "drc",
         [
           Alcotest.test_case "clean design" `Quick test_drc_clean_on_routed_design;
-          Alcotest.test_case "cell overlap" `Quick test_drc_detects_cell_overlap;
-          Alcotest.test_case "off grid" `Quick test_drc_detects_offgrid;
-          Alcotest.test_case "wire overlap" `Quick test_drc_detects_wire_overlap;
-          Alcotest.test_case "dangling via" `Quick test_drc_detects_dangling_via;
+          Alcotest.test_case "DRC-WIRE-SPACING" `Quick test_rule_wire_spacing;
+          Alcotest.test_case "DRC-WIRE-OVERLAP" `Quick test_rule_wire_overlap;
+          Alcotest.test_case "DRC-NOTCH-01" `Quick test_rule_notch;
+          Alcotest.test_case "DRC-EOL-01" `Quick test_rule_eol;
+          Alcotest.test_case "DRC-ZIGZAG-SPACING" `Quick test_rule_zigzag;
+          Alcotest.test_case "DRC-VIA-ALIGNMENT" `Quick test_rule_via_alignment;
+          Alcotest.test_case "DRC-VIA-ENCLOSE-01" `Quick test_rule_via_enclose;
+          Alcotest.test_case "DRC-WIDTH-01" `Quick test_rule_width;
+          Alcotest.test_case "DRC-AREA-01" `Quick test_rule_area;
+          Alcotest.test_case "DRC-OFF-GRID" `Quick test_rule_off_grid;
+          Alcotest.test_case "DRC-DENSITY" `Quick test_rule_density;
+          Alcotest.test_case "DRC-CELL-OVERLAP" `Quick test_rule_cell_overlap;
+          Alcotest.test_case "DRC-CELL-SPACING" `Quick test_rule_cell_spacing;
+          Alcotest.test_case "cell off grid" `Quick test_rule_cell_off_grid;
+          Alcotest.test_case "random = brute" `Quick
+            test_drc_matches_brute_on_random_layouts;
+          Alcotest.test_case "tile straddling" `Quick test_drc_tile_straddling;
+          Alcotest.test_case "jobs deterministic" `Quick
+            test_drc_jobs_deterministic;
+          Alcotest.test_case "eco incremental" `Quick test_drc_eco_incremental;
           Alcotest.test_case "gap hints" `Quick test_gap_hints;
         ] );
     ]
