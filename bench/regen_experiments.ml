@@ -1,0 +1,12 @@
+(* Regenerate EXPERIMENTS.md from the paper-table measurements alone,
+   without the ablations and micro-benchmarks of bench/main.exe — for
+   refreshing the committed file after a change to the table formats.
+
+     dune exec bench/regen_experiments.exe *)
+
+let () =
+  let md = Report.experiments_markdown Circuits.benchmark_names in
+  let oc = open_out "EXPERIMENTS.md" in
+  output_string oc md;
+  close_out oc;
+  print_endline "EXPERIMENTS.md regenerated."

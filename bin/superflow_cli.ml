@@ -2,6 +2,7 @@
 
    Subcommands mirror the flow stages:
      superflow synth   <input>          — logic synthesis report
+     superflow resyn   <input> [--effort ...]  — majority resynthesis report
      superflow place   <input> [--placer ...]
      superflow route   <input>
      superflow flow    <input> [-o out.gds] [--check] [--engine ...]
@@ -78,6 +79,35 @@ let cmd_synth input =
         (Netlist.is_balanced aqfp)
         (Sim.equivalent aoi aqfp)
 
+(* ---- resyn ---- *)
+
+let cmd_resyn input effort_name =
+  match (load_input input, Resyn.effort_of_string effort_name) with
+  | Error e, _ | _, Error e -> exit_err e
+  | Ok aoi, Ok effort ->
+      let aqfp0 = Synth_flow.run_quiet aoi in
+      let aqfp1, r = Resyn.run ~effort aqfp0 in
+      Format.printf "before: %a@." Netlist.pp_stats aqfp0;
+      Format.printf "after:  %a@." Netlist.pp_stats aqfp1;
+      Format.printf
+        "effort %s: jj %d -> %d, phase depth %d -> %d, buffers %d -> %d, \
+         majority gates %d -> %d (%d round(s))@."
+        (Resyn.effort_name r.Resyn.effort)
+        r.Resyn.jj_before r.Resyn.jj_after r.Resyn.depth_before
+        r.Resyn.depth_after r.Resyn.buffers_before r.Resyn.buffers_after
+        r.Resyn.maj_before r.Resyn.maj_after r.Resyn.rounds;
+      List.iter
+        (fun p ->
+          Format.printf "pass %-8s x%d: %d tried, %d accepted@." p.Resyn.pass
+            p.Resyn.iterations p.Resyn.tried p.Resyn.accepted)
+        r.Resyn.passes;
+      let c = r.Resyn.cec in
+      Format.printf
+        "cec windows: %d (%d proved, %d cached, %d memoized, %d refused)@."
+        c.Resyn.windows c.Resyn.proved c.Resyn.cached c.Resyn.memoized
+        c.Resyn.failed;
+      List.iter (fun d -> Format.printf "%a@." Diag.pp d) r.Resyn.diags
+
 (* ---- place ---- *)
 
 let cmd_place input placer_name =
@@ -128,22 +158,30 @@ let stage_of_cli s =
   | Ok st -> st
   | Error e -> exit_err e
 
-let cmd_flow input placer_name router_name engine_opt gds_out def_out svg_out
-    tech_file jobs check seed db_dir from_opt to_opt resume check_out =
+let cmd_flow input placer_name router_name engine_opt resyn_name gds_out
+    def_out svg_out tech_file jobs check seed db_dir from_opt to_opt resume
+    check_out =
   match
     ( load_input input,
       placer_of_string placer_name,
       router_of_string router_name,
       load_tech tech_file,
-      engine_tier_of_opt engine_opt )
+      engine_tier_of_opt engine_opt,
+      Resyn.effort_of_string resyn_name )
   with
-  | Error e, _, _, _, _
-  | _, Error e, _, _, _
-  | _, _, Error e, _, _
-  | _, _, _, Error e, _
-  | _, _, _, _, Error e ->
+  | Error e, _, _, _, _, _
+  | _, Error e, _, _, _, _
+  | _, _, Error e, _, _, _
+  | _, _, _, Error e, _, _
+  | _, _, _, _, Error e, _
+  | _, _, _, _, _, Error e ->
       exit_err e
-  | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok (equiv_engine, check_tier) ->
+  | ( Ok aoi,
+      Ok algorithm,
+      Ok router,
+      Ok tech,
+      Ok (equiv_engine, check_tier),
+      Ok resyn_effort ) ->
       if db_dir = None && (from_opt <> None || resume) then
         exit_err "--from and --resume need a design database (--db DIR)";
       if resume then (
@@ -176,8 +214,8 @@ let cmd_flow input placer_name router_name engine_opt gds_out def_out svg_out
       let staged =
         match
           Flow.run_staged ~tech ~algorithm ~router ?seed ?jobs ?db ~from_stage
-            ~to_stage ~equiv_engine ~check_tier ?gds_path:gds_out
-            ?def_path:def_out aoi
+            ~to_stage ~equiv_engine ~check_tier ~resyn_effort
+            ?gds_path:gds_out ?def_path:def_out aoi
         with
         | Ok s -> s
         | Error d -> exit_err (Diag.to_string d)
@@ -233,6 +271,16 @@ let cmd_flow input placer_name router_name engine_opt gds_out def_out svg_out
               Format.printf "synthesis: %a@." Synth_flow.pp_report report;
               Format.printf "aqfp:  %a@." Netlist.pp_stats aqfp0
           | None -> ());
+          (match staged.Flow.resyned with
+          | Some (_, rr) when rr.Resyn.effort <> Resyn.Off ->
+              Format.printf
+                "resyn (%s): jj %d -> %d, depth %d -> %d, %d/%d rewrites@."
+                (Resyn.effort_name rr.Resyn.effort)
+                rr.Resyn.jj_before rr.Resyn.jj_after rr.Resyn.depth_before
+                rr.Resyn.depth_after
+                (Resyn.rewrites_accepted rr)
+                (Resyn.rewrites_tried rr)
+          | _ -> ());
           (match staged.Flow.placed with
           | Some (_, _, placement, buffer_lines) ->
               Format.printf "placement: %a@." Placer.pp_result placement;
@@ -545,6 +593,18 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Run majority-based logic synthesis")
     Term.(const cmd_synth $ input_arg)
 
+let resyn_cmd_effort_arg =
+  Arg.(value & opt string "full" & info [ "effort" ] ~docv:"EFFORT"
+         ~doc:"Resynthesis effort: none, fast or full (default full).")
+
+let resyn_cmd =
+  Cmd.v
+    (Cmd.info "resyn"
+       ~doc:"Synthesize, then run the cut-based majority resynthesis engine \
+             and report its QoR deltas, per-pass statistics and window-CEC \
+             counts.")
+    Term.(const cmd_resyn $ input_arg $ resyn_cmd_effort_arg)
+
 let place_cmd =
   Cmd.v (Cmd.info "place" ~doc:"Synthesize and place")
     Term.(const cmd_place $ input_arg $ placer_arg)
@@ -596,14 +656,14 @@ let db_arg =
 
 let from_arg =
   Arg.(value & opt (some string) None & info [ "from" ] ~docv:"STAGE"
-         ~doc:"Require every stage before $(docv) (synth, place, route, \
-               layout, check) to already be in the database — fail instead \
-               of recomputing. Needs --db.")
+         ~doc:"Require every stage before $(docv) (synth, resyn, place, \
+               route, layout, check) to already be in the database — fail \
+               instead of recomputing. Needs --db.")
 
 let to_arg =
   Arg.(value & opt (some string) None & info [ "to" ] ~docv:"STAGE"
-         ~doc:"Stop the flow after $(docv) (synth, place, route, layout, \
-               check). $(b,--to check) implies $(b,--check).")
+         ~doc:"Stop the flow after $(docv) (synth, resyn, place, route, \
+               layout, check). $(b,--to check) implies $(b,--check).")
 
 let resume_arg =
   Arg.(value & flag & info [ "resume" ]
@@ -624,11 +684,20 @@ let engine_arg =
                check tier (AIG/SAT-backed lints); the default runs the fast \
                dataflow tier with engine auto.")
 
+let resyn_effort_arg =
+  Arg.(value & opt string "none" & info [ "resyn-effort" ] ~docv:"EFFORT"
+         ~doc:"Cut-based majority resynthesis between mapping and placement: \
+               none (identity, the default), fast (one CSE+rewrite round) or \
+               full (all passes to a fixpoint). Every accepted rewrite \
+               carries a window equivalence proof; part of the resyn stage's \
+               cache key.")
+
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
     Term.(const cmd_flow $ input_arg $ placer_arg $ router_arg $ engine_arg
-          $ gds_arg $ def_arg $ svg_arg $ tech_arg $ jobs_arg $ check_flag_arg
-          $ seed_arg $ db_arg $ from_arg $ to_arg $ resume_arg $ check_out_arg)
+          $ resyn_effort_arg $ gds_arg $ def_arg $ svg_arg $ tech_arg
+          $ jobs_arg $ check_flag_arg $ seed_arg $ db_arg $ from_arg $ to_arg
+          $ resume_arg $ check_out_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ]
@@ -745,7 +814,7 @@ let main =
   Cmd.group
     (Cmd.info "superflow" ~version:Flow.version
        ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
-    [ synth_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; drc_cmd;
+    [ synth_cmd; resyn_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; drc_cmd;
       explain_cmd; timing_cmd; report_cmd; sim_cmd; verify_cmd; prove_cmd;
       atpg_cmd; tables_cmd; bench_list_cmd ]
 

@@ -159,6 +159,9 @@ let all =
        phases).";
     e "PL-SPACING-01" Diag.Error "place"
       "Two cells in one row sit closer than the minimum spacing.";
+    e "RS-CEC-01" Diag.Warning "resyn"
+      "A resynthesis rewrite's window equivalence proof failed or timed out; \
+       the rewrite was refused and the original cone kept.";
     e "RT-CONN-01" Diag.Error "route" "A routed net does not connect its pins.";
   ]
 

@@ -1,5 +1,6 @@
 type times = {
   synth_s : float;
+  resyn_s : float;
   place_s : float;
   route_s : float;
   layout_s : float;
@@ -13,6 +14,7 @@ type result = {
   layout : Layout.t;
   violations : Diag.t list;
   synth_report : Synth_flow.report;
+  resyn_report : Resyn.report;
   placement : Placer.result;
   sta : Sta.report;
   energy : Energy.report;
@@ -29,7 +31,8 @@ let check_passes ?(tier = Check.Fast) ?absint_cache r =
   @ Absint_check.passes ?cache:absint_cache r.aqfp_netlist
   @ [
       Check.pass "aqfp" (fun () -> Aqfp_check.check r.aqfp_netlist);
-      Check.of_diags "equiv" r.synth_report.Synth_flow.guard_diags;
+      Check.of_diags "equiv"
+        (r.synth_report.Synth_flow.guard_diags @ r.resyn_report.Resyn.diags);
       Check.pass "place" (fun () -> Place_audit.check r.aqfp_netlist r.problem);
       Check.pass "route" (fun () ->
           match Router.check_routes r.problem r.routing with
@@ -51,12 +54,13 @@ let timed f =
 
 (* ---- the explicit stage graph ---- *)
 
-type stage = Synth | Place | Route | Layout | Check
+type stage = Synth | Resyn | Place | Route | Layout | Check
 
-let stages = [ Synth; Place; Route; Layout; Check ]
+let stages = [ Synth; Resyn; Place; Route; Layout; Check ]
 
 let stage_name = function
   | Synth -> "synth"
+  | Resyn -> "resyn"
   | Place -> "place"
   | Route -> "route"
   | Layout -> "layout"
@@ -64,20 +68,23 @@ let stage_name = function
 
 let stage_of_string = function
   | "synth" -> Ok Synth
+  | "resyn" -> Ok Resyn
   | "place" -> Ok Place
   | "route" -> Ok Route
   | "layout" -> Ok Layout
   | "check" -> Ok Check
   | s ->
       Error
-        (Printf.sprintf "unknown stage %S (synth|place|route|layout|check)" s)
+        (Printf.sprintf
+           "unknown stage %S (synth|resyn|place|route|layout|check)" s)
 
 let stage_rank = function
   | Synth -> 0
-  | Place -> 1
-  | Route -> 2
-  | Layout -> 3
-  | Check -> 4
+  | Resyn -> 1
+  | Place -> 2
+  | Route -> 3
+  | Layout -> 4
+  | Check -> 5
 
 type outcome = Cached of float | Computed of float
 
@@ -85,6 +92,7 @@ type staged = {
   outcomes : (stage * outcome) list;
   db_warnings : Diag.t list;
   synth : (Netlist.t * Synth_flow.report) option;
+  resyned : (Netlist.t * Resyn.report) option;
   placed : (Netlist.t * Problem.t * Placer.result * int) option;
   routed : (Router.result * Problem.t * Diag.t list * int) option;
   built : (Layout.t * Sta.report * Energy.report) option;
@@ -94,7 +102,7 @@ type staged = {
 
 (* engine format tag: part of every cache key, so changing the stage
    graph (not just one codec) invalidates the whole cache *)
-let graph_version = "sf-flow-graph-4"
+let graph_version = "sf-flow-graph-5"
 
 exception Stage_failed of Diag.t
 
@@ -136,7 +144,7 @@ let drc_cache_of_db dbh =
 let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
     ?(router = Router.Sequential) ?(seed = 1) ?jobs ?db ?(from_stage = Synth)
     ?(to_stage = Layout) ?(equiv_engine = `Auto) ?(check_tier = Check.Fast)
-    ?gds_path ?def_path aoi =
+    ?(resyn_effort = Resyn.Off) ?gds_path ?def_path aoi =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   (* running "to check" switches the synthesis equivalence guards on,
      exactly like [run ~check:true] *)
@@ -275,17 +283,83 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
             Synth_flow.run ~check:guard ~engine:equiv_engine ?cache:proof_cache
               aoi)
       in
-      (* 2. placement + max-wirelength buffer-line insertion (re-threads
+      (* 2. cut-based majority resynthesis over the mapped netlist —
+         identity at the default [Off] effort (the stage still exists
+         and caches, so the graph shape is effort-independent).
+         Window-CEC verdicts memoize through the proof store; with
+         guards on, the stage's own whole-netlist equivalence check
+         lands in its report diagnostics (and hence the [equiv] check
+         pass). *)
+      let resyned =
+        if not (included Resyn) then None
+        else
+          Some
+            (exec ~stage:Resyn
+               ~parts:(fun () ->
+                 [
+                   shash s_synth "aqfp0";
+                   "effort-" ^ Resyn.effort_name resyn_effort;
+                   (if guard then "guards-" ^ Equiv.engine_name equiv_engine
+                    else "noguards");
+                 ])
+               ~load:(fun db slots _ ->
+                 match load_obj db Artifact.netlist slots "aqfp1" with
+                 | Error _ as e -> e
+                 | Ok nl -> (
+                     match
+                       load_obj db Artifact.resyn_report slots "report"
+                     with
+                     | Error e -> Error e
+                     | Ok rep -> Ok (nl, rep)))
+               ~store:(fun db (nl, rep) ->
+                 ( [
+                     ("aqfp1", put db Artifact.netlist nl);
+                     ("report", put db Artifact.resyn_report rep);
+                   ],
+                   [] ))
+               ~compute:(fun () ->
+                 let resyn_cache =
+                   match db with
+                   | Some dbh ->
+                       Some
+                         {
+                           Resyn.find = (fun k -> Db.find_proof dbh ~key:k);
+                           store = (fun k v -> Db.put_proof dbh ~key:k v);
+                         }
+                   | None -> None
+                 in
+                 let nl, rep =
+                   Resyn.run ~effort:resyn_effort ?cache:resyn_cache aqfp0
+                 in
+                 let rep =
+                   if guard && resyn_effort <> Resyn.Off then
+                     let ds =
+                       Equiv.check_pair ~engine:equiv_engine ?cache:proof_cache
+                         ~stage:"resyn" aqfp0 nl
+                     in
+                     {
+                       rep with
+                       Resyn.diags =
+                         List.sort Diag.compare (rep.Resyn.diags @ ds);
+                     }
+                   else rep
+                 in
+                 (nl, rep)))
+      in
+      (* 3. placement + max-wirelength buffer-line insertion (re-threads
          long hops through whole rows of buffers, keeping the pipeline
          balanced) + channel pre-sizing for the router *)
       let placed =
-        if not (included Place) then None
-        else
+        match resyned with
+        | None -> None
+        | Some ((aqfp1, _), s_resyn) ->
+            if not (included Place) then None
+            else
           Some
             (exec ~stage:Place
                ~parts:(fun () ->
                  [
-                   shash s_synth "aqfp0";
+                   shash s_resyn "aqfp1";
                    Lazy.force h_tech;
                    Placer.algorithm_name algorithm;
                    string_of_int seed;
@@ -313,9 +387,9 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                    ],
                    [ ("buffer_lines", lines) ] ))
                ~compute:(fun () ->
-                 let p0 = Problem.of_netlist tech aqfp0 in
+                 let p0 = Problem.of_netlist tech aqfp1 in
                  let placement = Placer.place ~seed algorithm p0 in
-                 let aqfp, p, buffer_lines = Bufferline.insert aqfp0 p0 in
+                 let aqfp, p, buffer_lines = Bufferline.insert aqfp1 p0 in
                  (* newly inserted buffer rows start at crude midpoints;
                     one light detailed pass settles them *)
                  if buffer_lines > 0 then
@@ -334,7 +408,7 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                  ignore (Congestion.preexpand p);
                  (aqfp, p, placement, buffer_lines)))
       in
-      (* 3. routing + DRC fix loop: violating regions get extra space
+      (* 4. routing + DRC fix loop: violating regions get extra space
          and are re-routed. The final layout of the loop is kept as an
          in-memory memo so a cold run does not rebuild it in stage 4;
          it is not persisted (stage 4 owns the layout artifact). *)
@@ -418,7 +492,7 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
       | Some path, Some ((routing, p', _, _), _) ->
           Def.write_file path (Def.of_design ~design:"superflow" p' routing)
       | _ -> ());
-      (* 4. layout assembly + sign-off timing (actual routed lengths)
+      (* 5. layout assembly + sign-off timing (actual routed lengths)
          + adiabatic energy *)
       let built =
         match (placed, routed) with
@@ -473,8 +547,9 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
       (* assemble the classic flow result as soon as every physical
          stage is present *)
       let result0 =
-        match (placed, routed, built) with
-        | ( Some ((aqfp, _, placement, buffer_lines), _),
+        match (resyned, placed, routed, built) with
+        | ( Some ((_, resyn_report), _),
+            Some ((aqfp, _, placement, buffer_lines), _),
             Some ((routing, p', violations, rounds), _),
             Some ((layout, sta, energy), _) ) ->
             Some
@@ -485,6 +560,7 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                 layout;
                 violations;
                 synth_report;
+                resyn_report;
                 placement;
                 sta;
                 energy;
@@ -494,6 +570,7 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
                 times =
                   {
                     synth_s = seconds Synth;
+                    resyn_s = seconds Resyn;
                     place_s = seconds Place;
                     route_s = seconds Route;
                     layout_s = seconds Layout;
@@ -509,11 +586,15 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
             let report, _ =
               exec ~stage:Check
                 ~parts:(fun () ->
-                  match (placed, routed, built) with
-                  | Some (_, s_place), Some (_, s_route), Some (_, s_layout) ->
+                  match (resyned, placed, routed, built) with
+                  | ( Some (_, s_resyn),
+                      Some (_, s_place),
+                      Some (_, s_route),
+                      Some (_, s_layout) ) ->
                       [
                         shash s_place "aqfp";
                         shash s_synth "report";
+                        shash s_resyn "report";
                         shash s_route "problem";
                         shash s_route "routing";
                         shash s_route "drc";
@@ -554,6 +635,7 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
           db_warnings =
             (match db with Some dbh -> Db.warnings dbh | None -> []);
           synth = Some (aqfp0, synth_report);
+          resyned = Option.map fst resyned;
           placed = Option.map fst placed;
           routed = Option.map fst routed;
           built = Option.map fst built;
@@ -564,37 +646,48 @@ let run_staged ?(tech = Tech.default) ?(algorithm = Placer.Superflow)
   end
 
 let run ?tech ?algorithm ?router ?seed ?jobs ?(check = false) ?equiv_engine
-    ?check_tier ?db ?gds_path ?def_path aoi =
+    ?check_tier ?resyn_effort ?db ?gds_path ?def_path aoi =
   match
     run_staged ?tech ?algorithm ?router ?seed ?jobs ?db
       ~to_stage:(if check then Check else Layout)
-      ?equiv_engine ?check_tier ?gds_path ?def_path aoi
+      ?equiv_engine ?check_tier ?resyn_effort ?gds_path ?def_path aoi
   with
   | Ok { result = Some r; _ } -> r
   | Ok _ -> assert false (* to_stage >= Layout always yields a result *)
   | Error d -> failwith (Diag.to_string d)
 
 let run_verilog ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
-    ?check_tier ?db ?gds_path ?def_path source =
+    ?check_tier ?resyn_effort ?db ?gds_path ?def_path source =
   match Verilog.parse source with
   | Error e -> Error e
   | Ok aoi ->
       Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
-            ?check_tier ?db ?gds_path ?def_path aoi)
+            ?check_tier ?resyn_effort ?db ?gds_path ?def_path aoi)
 
 let run_bench_file ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
-    ?check_tier ?db ?gds_path ?def_path path =
+    ?check_tier ?resyn_effort ?db ?gds_path ?def_path path =
   match Bench_parser.parse_file path with
   | Error e -> Error e
   | Ok aoi ->
       Ok (run ?tech ?algorithm ?router ?seed ?jobs ?check ?equiv_engine
-            ?check_tier ?db ?gds_path ?def_path aoi)
+            ?check_tier ?resyn_effort ?db ?gds_path ?def_path aoi)
 
 let pp_summary ppf r =
   let s = Layout.stats r.layout in
+  Format.fprintf ppf "@[<v>synthesis: %a" Synth_flow.pp_report r.synth_report;
+  (match r.resyn_report.Resyn.effort with
+  | Resyn.Off -> ()
+  | e ->
+      let rr = r.resyn_report in
+      Format.fprintf ppf
+        "@,resyn (%s): jj %d -> %d, depth %d -> %d, %d/%d rewrites in %d \
+         round(s)"
+        (Resyn.effort_name e) rr.Resyn.jj_before rr.Resyn.jj_after
+        rr.Resyn.depth_before rr.Resyn.depth_after
+        (Resyn.rewrites_accepted rr) (Resyn.rewrites_tried rr) rr.Resyn.rounds);
   Format.fprintf ppf
-    "@[<v>synthesis: %a@,placement: %a@,buffer lines: %d@,routing: wl=%.0fum vias=%d expansions=%d@,layout: %a@,timing: %a@,energy: %a@,drc: %d violation(s), %d fix round(s)@]"
-    Synth_flow.pp_report r.synth_report Placer.pp_result r.placement
+    "@,placement: %a@,buffer lines: %d@,routing: wl=%.0fum vias=%d expansions=%d@,layout: %a@,timing: %a@,energy: %a@,drc: %d violation(s), %d fix round(s)@]"
+    Placer.pp_result r.placement
     r.buffer_lines r.routing.Router.wirelength r.routing.Router.total_vias
     r.routing.Router.expansions Layout.pp_stats s Sta.pp_report r.sta Energy.pp
     r.energy

@@ -12,6 +12,7 @@
 
 type times = {
   synth_s : float;
+  resyn_s : float;  (** resynthesis stage; ~0 at [--resyn-effort none] *)
   place_s : float;
   route_s : float;
   layout_s : float;
@@ -27,6 +28,9 @@ type result = {
       (** residual DRC diagnostics after the fix loop, sorted with
           {!Diag.compare} (empty = clean signoff) *)
   synth_report : Synth_flow.report;
+  resyn_report : Resyn.report;
+      (** the resynthesis stage's QoR deltas and CEC statistics; at
+          the default [Off] effort the before/after metrics coincide *)
   placement : Placer.result;
   sta : Sta.report;
   energy : Energy.report;  (** adiabatic energy estimate of the design *)
@@ -60,8 +64,8 @@ val check_passes :
 
 (** {1 The stage graph}
 
-    The flow is an explicit five-stage graph — [synth → place →
-    route → layout → check] — and each stage is independently
+    The flow is an explicit six-stage graph — [synth → resyn → place
+    → route → layout → check] — and each stage is independently
     cacheable in a {!Db.t} design database. A stage's cache key is
     the hash of its input-artifact hashes plus every parameter that
     affects its result:
@@ -69,7 +73,12 @@ val check_passes :
     - [synth]: the AOI netlist, whether equivalence guards run
       (i.e. whether the flow ends at the [check] stage), and which
       {!Equiv.engine} proves them;
-    - [place]: the AQFP netlist from [synth], the technology record,
+    - [resyn]: the AQFP netlist from [synth], the {!Resyn.effort},
+      and the guard configuration — covers cut-based majority
+      resynthesis ({!Resyn.run}); its window-CEC verdicts memoize
+      into the database's proof store, so a warm rerun proves
+      nothing;
+    - [place]: the AQFP netlist from [resyn], the technology record,
       the placement algorithm and the seed — covers placement,
       buffer-line insertion, the settling pass and channel pre-sizing;
     - [route]: the placed problem and the routing algorithm — covers
@@ -83,7 +92,7 @@ val check_passes :
     [--jobs] is deliberately absent from every key: stage results
     are bit-identical at any pool size (see {!Parallel}). *)
 
-type stage = Synth | Place | Route | Layout | Check
+type stage = Synth | Resyn | Place | Route | Layout | Check
 
 val stages : stage list
 (** In dependency order. *)
@@ -101,6 +110,8 @@ type staged = {
   db_warnings : Diag.t list;
       (** corrupt cache entries healed by recomputation *)
   synth : (Netlist.t * Synth_flow.report) option;
+  resyned : (Netlist.t * Resyn.report) option;
+      (** resynthesized AQFP netlist and the stage report *)
   placed : (Netlist.t * Problem.t * Placer.result * int) option;
       (** buffered AQFP netlist, placed problem, placement report,
           buffer lines *)
@@ -123,6 +134,7 @@ val run_staged :
   ?to_stage:stage ->
   ?equiv_engine:Equiv.engine ->
   ?check_tier:Check.tier ->
+  ?resyn_effort:Resyn.effort ->
   ?gds_path:string ->
   ?def_path:string ->
   Netlist.t ->
@@ -147,7 +159,10 @@ val run_staged :
     [sf_absint] dataflow passes, [Full] adds the AIG/SAT-backed lints
     — participates in the [check] cache key, and is recorded in the
     report header; the absint findings memoize into the proof cache
-    keyed by the netlist's structural hash. Errors: [DB-RANGE-01]
+    keyed by the netlist's structural hash. [resyn_effort] (default
+    [Resyn.Off]) selects the resynthesis stage's effort and
+    participates in its cache key; its window-CEC verdicts memoize
+    into the proof cache. Errors: [DB-RANGE-01]
     when [from_stage] is after [to_stage] or [from_stage] is given
     without [db]. *)
 
@@ -160,6 +175,7 @@ val run :
   ?check:bool ->
   ?equiv_engine:Equiv.engine ->
   ?check_tier:Check.tier ->
+  ?resyn_effort:Resyn.effort ->
   ?db:Db.t ->
   ?gds_path:string ->
   ?def_path:string ->
@@ -181,14 +197,16 @@ val run :
 val run_verilog :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
   ?seed:int -> ?jobs:int -> ?check:bool -> ?equiv_engine:Equiv.engine ->
-  ?check_tier:Check.tier -> ?db:Db.t -> ?gds_path:string ->
+  ?check_tier:Check.tier -> ?resyn_effort:Resyn.effort -> ?db:Db.t ->
+  ?gds_path:string ->
   ?def_path:string -> string -> (result, string) Stdlib.result
 (** Full flow from Verilog source text. *)
 
 val run_bench_file :
   ?tech:Tech.t -> ?algorithm:Placer.algorithm -> ?router:Router.algorithm ->
   ?seed:int -> ?jobs:int -> ?check:bool -> ?equiv_engine:Equiv.engine ->
-  ?check_tier:Check.tier -> ?db:Db.t -> ?gds_path:string ->
+  ?check_tier:Check.tier -> ?resyn_effort:Resyn.effort -> ?db:Db.t ->
+  ?gds_path:string ->
   ?def_path:string -> string -> (result, string) Stdlib.result
 (** Full flow from an ISCAS [.bench] file path. *)
 

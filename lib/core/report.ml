@@ -14,6 +14,9 @@ type route_row = {
   r_jjs : int;
   r_nets : int;
   routed_wl : float;
+  r_jjs_resyn : int;
+  r_depth_resyn : int;
+  r_depth : int;
 }
 
 type fig4_row = {
@@ -136,11 +139,17 @@ let measure_table4 ?(seed = 1) ?(router = Router.Sequential) name =
   memo t4_cache (name ^ "#" ^ router_tag router) @@ fun () ->
   let aoi = Circuits.benchmark name in
   let r = Flow.run ~seed ~router aoi in
+  (* the resyn-on arm: same flow with the resynthesis stage at full
+     effort, so the table shows the paper numbers against both *)
+  let rr = Flow.run ~seed ~router ~resyn_effort:Resyn.Full aoi in
   {
     r_name = name;
     r_jjs = Problem.jj_count r.Flow.problem;
     r_nets = Array.length r.Flow.problem.Problem.nets;
     routed_wl = r.Flow.routing.Router.wirelength;
+    r_jjs_resyn = Problem.jj_count rr.Flow.problem;
+    r_depth_resyn = rr.Flow.resyn_report.Resyn.depth_after;
+    r_depth = rr.Flow.resyn_report.Resyn.depth_before;
   }
 
 let measure_fig4 ?(seed = 1) name =
@@ -261,8 +270,8 @@ let print_table4 ?(router = Router.Sequential) names =
   let t =
     Table.create
       ~headers:
-        [ "Circuit"; "#JJs(paper)"; "#JJs"; "#Nets(paper)"; "#Nets";
-          "WL um(paper)"; "WL um" ]
+        [ "Circuit"; "#JJs(paper)"; "#JJs"; "#JJs(resyn)"; "#Nets(paper)";
+          "#Nets"; "WL um(paper)"; "WL um"; "Depth"; "Depth(resyn)" ]
   in
   List.iter
     (fun name ->
@@ -274,8 +283,9 @@ let print_table4 ?(router = Router.Sequential) names =
       in
       Table.add_row t
         [
-          name; pj; Table.fmt_int m.r_jjs; pn; Table.fmt_int m.r_nets; pw;
-          Table.fmt_float ~dec:0 m.routed_wl;
+          name; pj; Table.fmt_int m.r_jjs; Table.fmt_int m.r_jjs_resyn; pn;
+          Table.fmt_int m.r_nets; pw; Table.fmt_float ~dec:0 m.routed_wl;
+          string_of_int m.r_depth; string_of_int m.r_depth_resyn;
         ])
     names;
   Table.print t;
@@ -439,15 +449,18 @@ let experiments_markdown names =
         rows)
     names;
   add "\n## Table IV — routing (SuperFlow)\n\n";
-  add "| circuit | JJs paper | JJs here | nets paper | nets here | routed WL paper | routed WL here |\n";
-  add "|---|---|---|---|---|---|---|\n";
+  add
+    "| circuit | JJs paper | JJs here | JJs resyn | nets paper | nets here \
+     | routed WL paper | routed WL here | depth | depth resyn |\n";
+  add "|---|---|---|---|---|---|---|---|---|---|\n";
   List.iter
     (fun name ->
       let m = measure_table4 name in
       match List.assoc_opt name paper_table4 with
       | Some (pj, pn, pw) ->
-          add "| %s | %d | %d | %d | %d | %.0f | %.0f |\n" name pj m.r_jjs pn m.r_nets pw
-            m.routed_wl
+          add "| %s | %d | %d | %d | %d | %d | %.0f | %.0f | %d | %d |\n" name
+            pj m.r_jjs m.r_jjs_resyn pn m.r_nets pw m.routed_wl m.r_depth
+            m.r_depth_resyn
       | None -> ())
     names;
   add "\n## Claim verdicts\n\n";

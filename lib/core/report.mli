@@ -22,8 +22,12 @@ type route_row = {
   r_jjs : int;
   r_nets : int;
   routed_wl : float;
+  r_jjs_resyn : int;  (** placed JJ count with [--resyn-effort full] *)
+  r_depth_resyn : int;  (** phase depth with resynthesis *)
+  r_depth : int;  (** phase depth without (the resyn stage's before) *)
 }
-(** One Table IV row. *)
+(** One Table IV row: the flow with the resynthesis stage off (the
+    paper's configuration) and the resyn-on deltas alongside. *)
 
 type fig4_row = {
   mixed : bool;
@@ -51,7 +55,9 @@ val measure_table4 :
   ?seed:int -> ?router:Router.algorithm -> string -> route_row
 (** [router] selects the routing algorithm the flow runs with
     (default [Sequential]); measurements are memoized per
-    (circuit, router) pair. *)
+    (circuit, router) pair. Each measurement runs the flow twice —
+    resynthesis off (the paper's configuration) and at full effort —
+    so the table carries the resyn delta. *)
 
 
 val measure_fig4 : ?seed:int -> string -> fig4_row list

@@ -550,6 +550,92 @@ let synth_report =
         guard_diags;
       })
 
+(* ---- resynthesis report ---- *)
+
+let effort_tag = function Resyn.Off -> 0 | Resyn.Fast -> 1 | Resyn.Full -> 2
+
+let effort_of_tag = function
+  | 0 -> Resyn.Off
+  | 1 -> Resyn.Fast
+  | 2 -> Resyn.Full
+  | t -> raise (Corrupt (Printf.sprintf "unknown resyn effort tag %d" t))
+
+let resyn_report =
+  make ~kind:"resyn-report" ~version:1
+    (fun b (s : Resyn.report) ->
+      w_u8 b (effort_tag s.Resyn.effort);
+      w_int b s.Resyn.rounds;
+      w_int b s.Resyn.maj_before;
+      w_int b s.Resyn.maj_after;
+      w_int b s.Resyn.jj_before;
+      w_int b s.Resyn.jj_after;
+      w_int b s.Resyn.depth_before;
+      w_int b s.Resyn.depth_after;
+      w_int b s.Resyn.buffers_before;
+      w_int b s.Resyn.buffers_after;
+      w_int b s.Resyn.splitters_before;
+      w_int b s.Resyn.splitters_after;
+      w_list
+        (fun b (p : Resyn.pass_stat) ->
+          w_string b p.Resyn.pass;
+          w_int b p.Resyn.iterations;
+          w_int b p.Resyn.tried;
+          w_int b p.Resyn.accepted)
+        b s.Resyn.passes;
+      w_int b s.Resyn.cec.Resyn.windows;
+      w_int b s.Resyn.cec.Resyn.proved;
+      w_int b s.Resyn.cec.Resyn.cached;
+      w_int b s.Resyn.cec.Resyn.memoized;
+      w_int b s.Resyn.cec.Resyn.failed;
+      w_list w_diag b s.Resyn.diags)
+    (fun r ->
+      let effort = effort_of_tag (r_u8 r) in
+      let rounds = r_int r in
+      let maj_before = r_int r in
+      let maj_after = r_int r in
+      let jj_before = r_int r in
+      let jj_after = r_int r in
+      let depth_before = r_int r in
+      let depth_after = r_int r in
+      let buffers_before = r_int r in
+      let buffers_after = r_int r in
+      let splitters_before = r_int r in
+      let splitters_after = r_int r in
+      let passes =
+        r_list
+          (fun r ->
+            let pass = r_string r in
+            let iterations = r_int r in
+            let tried = r_int r in
+            let accepted = r_int r in
+            { Resyn.pass; iterations; tried; accepted })
+          r
+      in
+      let windows = r_int r in
+      let proved = r_int r in
+      let cached = r_int r in
+      let memoized = r_int r in
+      let failed = r_int r in
+      let cec = { Resyn.windows; proved; cached; memoized; failed } in
+      let diags = r_list r_diag r in
+      {
+        Resyn.effort;
+        rounds;
+        maj_before;
+        maj_after;
+        jj_before;
+        jj_after;
+        depth_before;
+        depth_after;
+        buffers_before;
+        buffers_after;
+        splitters_before;
+        splitters_after;
+        passes;
+        cec;
+        diags;
+      })
+
 (* ---- checker report ---- *)
 
 let check_report =

@@ -38,6 +38,7 @@ val layout : Layout.t codec
 val sta : Sta.report codec
 val energy : Energy.report codec
 val synth_report : Synth_flow.report codec
+val resyn_report : Resyn.report codec
 val check_report : Check.report codec
 val drc : Diag.t list codec
 

@@ -249,17 +249,30 @@ let pp_stats ppf t =
     (count_kind t (fun k -> k = Buf))
     (count_kind t (function Splitter _ -> true | _ -> false))
 
+let commutative = function
+  | And | Or | Nand | Nor | Xor | Xnor | Maj -> true
+  | Input | Output | Const _ | Buf | Not | Splitter _ -> false
+
 let struct_hash t =
   (* canonical structural dump: kinds + fan-in wiring in id order;
      names and phases deliberately excluded so that relabeled but
-     identically-wired netlists hash alike *)
+     identically-wired netlists hash alike, and commutative fan-ins
+     sorted so operand order does not defeat the hash *)
   let buf = Buffer.create 1024 in
   iter t (fun nd ->
       Buffer.add_string buf (kind_name nd.kind);
+      let fanins =
+        if commutative nd.kind && Array.length nd.fanins > 1 then begin
+          let fs = Array.copy nd.fanins in
+          Array.sort compare fs;
+          fs
+        end
+        else nd.fanins
+      in
       Array.iter
         (fun f ->
           Buffer.add_char buf ' ';
           Buffer.add_string buf (string_of_int f))
-        nd.fanins;
+        fanins;
       Buffer.add_char buf '\n');
   Digest.to_hex (Digest.string (Buffer.contents buf))

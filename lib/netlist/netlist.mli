@@ -118,12 +118,19 @@ val validate : t -> (string, string) result
 
 val copy : t -> t
 
+val commutative : kind -> bool
+(** Whether a gate's function is invariant under fan-in permutation
+    ([And]/[Or]/[Nand]/[Nor]/[Xor]/[Xnor]/[Maj]). Structural hashing
+    and CSE sort such fan-ins into a canonical order. *)
+
 val struct_hash : t -> string
 (** Hex digest of the netlist's structure: node kinds and fan-in
-    wiring in id order, with names and phases excluded. Two netlists
-    with equal [struct_hash] are isomorphic as labeled DAGs (same ids,
-    same gates, same edges). Used as the proof-cache key by the
-    equivalence engines. *)
+    wiring in id order, with names and phases excluded and
+    {!commutative} fan-ins sorted — so [maj(a,b,c)] and [maj(c,a,b)]
+    hash alike and operand order cannot defeat duplicate detection.
+    Two netlists with equal [struct_hash] are isomorphic as labeled
+    DAGs up to commutative operand order. Used as the proof-cache key
+    by the equivalence engines. *)
 
 val to_dot : t -> string
 (** Graphviz dump for debugging. *)

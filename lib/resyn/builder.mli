@@ -1,0 +1,42 @@
+(** Structurally-hashed netlist construction for the rewriting
+    passes.
+
+    Every constructor returns an existing node when a structurally
+    identical one was already built — commutative fan-ins
+    ([And]/[Or]/[Maj]) compare in sorted order, double negations
+    collapse, constants fold ([and(x,0) = 0], [maj(x,y,1) = or],
+    [maj(x,~x,y) = y], ...) — so rebuilding a netlist through a
+    builder {e is} common-subexpression elimination. All methods are
+    deterministic; a builder is single-domain (never shared across
+    parallel chunks). *)
+
+type t
+
+val create : unit -> t
+
+val netlist : t -> Netlist.t
+(** The netlist under construction (live view). *)
+
+val input : t -> ?name:string -> unit -> int
+val output : t -> ?name:string -> int -> unit
+val const : t -> bool -> int
+
+val not_ : t -> int -> int
+(** Complement with double-negation collapse and constant folding. *)
+
+val gate2 : t -> Netlist.kind -> int -> int -> int
+(** 2-input gate with idempotence/constant/complement folding for
+    [And]/[Or]; other kinds hash structurally. *)
+
+val maj : t -> int -> int -> int -> int
+(** 3-input majority: duplicate operands collapse
+    ([maj(a,a,b) = a]), complementary operands cancel
+    ([maj(a,~a,b) = b]), constant operands degrade to [And]/[Or]. *)
+
+val instantiate : t -> Maj_db.impl -> int array -> int
+(** Realize a database implementation over concrete leaf signals
+    (variables beyond the leaf count are don't-care and feed a
+    constant, as in {!Aoi_to_maj}). *)
+
+val is_const : t -> int -> bool option
+(** [Some b] when the node is (or folded to) the constant [b]. *)

@@ -1,0 +1,37 @@
+(** Deterministic k-feasible cut enumeration (k = 3) over a mapped
+    majority netlist.
+
+    A cut of node [v] is a set of at most 3 leaves such that every
+    path from a primary input to [v] crosses a leaf; the cut carries
+    the truth table of [v] as a function of its leaves. Enumeration
+    is the classical bottom-up merge — a gate's cuts are the unions
+    of one cut per fan-in, capped at 3 leaves — with the trivial cut
+    [{v}] always kept first and at most {!cuts_per_node} cuts per
+    node (trivial plus the widest merges, the most collapsible ones).
+
+    Determinism and parallelism: cuts depend only on strictly
+    shallower nodes, so nodes are processed level-synchronously —
+    each level shards over {!Parallel.parallel_map} (ordered
+    combine), making the result bit-identical at any [--jobs]. *)
+
+type cut = {
+  leaves : int array;  (** sorted ascending, [1 <= length <= 3] *)
+  tt : int;  (** truth table of the node over [leaves], in order *)
+}
+
+val cuts_per_node : int
+(** 8 — the per-node cap, matching {!Aoi_to_maj}. *)
+
+val tt3 : cut -> Truth.t
+(** The cut function padded to the 3-variable space of {!Maj_db}
+    (missing variables replicated, i.e. don't-care). *)
+
+val trivial : int -> cut
+(** [{v}] with the identity table. *)
+
+val is_trivial : int -> cut -> bool
+
+val enumerate : Netlist.t -> cut list array
+(** Per-node cut lists, trivial first. Gates ([Maj]/[And]/[Or]/
+    [Not]; [Buf]/[Splitter] pass through), inputs, constants and
+    outputs get only the trivial cut. The netlist must be acyclic. *)

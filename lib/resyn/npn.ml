@@ -1,0 +1,72 @@
+type transform = { perm : int array; phase : int; out_neg : bool }
+
+let identity = { perm = [| 0; 1; 2 |]; phase = 0; out_neg = false }
+
+let perms =
+  [|
+    [| 0; 1; 2 |];
+    [| 0; 2; 1 |];
+    [| 1; 0; 2 |];
+    [| 1; 2; 0 |];
+    [| 2; 0; 1 |];
+    [| 2; 1; 0 |];
+  |]
+
+let apply t f =
+  Truth.of_fun 3 (fun ys ->
+      let xs = Array.make 3 false in
+      for j = 0 to 2 do
+        let k = t.perm.(j) in
+        xs.(k) <- ys.(j) <> (t.phase land (1 lsl k) <> 0)
+      done;
+      Truth.eval f xs <> t.out_neg)
+
+let canon f =
+  let f = f land 255 in
+  let best = ref (f, identity) in
+  Array.iter
+    (fun perm ->
+      for phase = 0 to 7 do
+        List.iter
+          (fun out_neg ->
+            let t = { perm; phase; out_neg } in
+            let g = apply t f in
+            if g < fst !best then best := (g, t))
+          [ false; true ]
+      done)
+    perms;
+  !best
+
+let map_operand t = function
+  | Maj_db.Var (j, neg) ->
+      let k = t.perm.(j) in
+      Maj_db.Var (k, neg <> (t.phase land (1 lsl k) <> 0))
+  | (Maj_db.Cst _ | Maj_db.Gate _) as op -> op
+
+let negate_operand = function
+  | Maj_db.Var (k, n) -> Maj_db.Var (k, not n)
+  | Maj_db.Cst b -> Maj_db.Cst (not b)
+  | Maj_db.Gate (i, n) -> Maj_db.Gate (i, not n)
+
+let uncanon t (impl : Maj_db.impl) =
+  let gates =
+    Array.map
+      (fun (g : Maj_db.gate) ->
+        {
+          Maj_db.a = map_operand t g.Maj_db.a;
+          b = map_operand t g.Maj_db.b;
+          c = map_operand t g.Maj_db.c;
+        })
+      impl.Maj_db.gates
+  in
+  let out = map_operand t impl.Maj_db.out in
+  let out = if t.out_neg then negate_operand out else out in
+  let impl' = { impl with Maj_db.gates; out } in
+  { impl' with Maj_db.jj = Cost.impl_jj impl' }
+
+let classes () =
+  let seen = Hashtbl.create 32 in
+  for f = 0 to 255 do
+    Hashtbl.replace seen (fst (canon f)) ()
+  done;
+  Hashtbl.length seen

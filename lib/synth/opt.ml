@@ -107,8 +107,14 @@ let pass nl =
           | (Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor | Netlist.Xor
             | Netlist.Xnor) as k ->
               mk2 k (f 0) (f 1)
-          | Netlist.Maj | Netlist.Splitter _ ->
-              invalid_arg "Opt: netlist is not pure AOI"
+          | (Netlist.Maj | Netlist.Splitter _) as k ->
+              invalid_arg
+                (Printf.sprintf
+                   "Opt.optimize: node %d is a %s gate; Opt only accepts the \
+                    pre-mapping AOI netlist. Post-mapping majority netlists \
+                    are optimized by sf_resyn (Resyn.run), which runs as the \
+                    flow's resyn stage between synth and place."
+                   id (Netlist.kind_name k))
         in
         memo.(id) <- result)
     order;

@@ -18,9 +18,14 @@
     exhaustive/random simulation). *)
 
 val optimize : Netlist.t -> Netlist.t
-(** Full fixpoint optimization of an AOI netlist. Raises
-    [Invalid_argument] on majority/splitter nodes (those appear only
-    after conversion, where this pass does not apply). *)
+(** Full fixpoint optimization of an AOI netlist.
+
+    {b Precondition:} the netlist is pure AOI — no majority or
+    splitter nodes. Those appear only after technology mapping, where
+    this pass does not apply; the post-mapping optimizer is
+    [sf_resyn] ([Resyn.run]), the flow's [resyn] stage. Violations
+    raise [Invalid_argument] with a message naming the offending node,
+    its kind, and that redirection. *)
 
 type stats = { nodes_before : int; nodes_after : int; iterations : int }
 

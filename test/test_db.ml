@@ -202,11 +202,11 @@ let outcome_names staged =
 let test_warm_rerun_all_hits () =
   with_db (fun _dir db ->
       let cold = Flow.run ~check:true ~db (aoi ()) in
-      checki "cold misses" 5 (Db.misses db);
+      checki "cold misses" 6 (Db.misses db);
       checki "cold hits" 0 (Db.hits db);
       Db.reset_log db;
       let warm = Flow.run ~check:true ~db (aoi ()) in
-      checki "warm hits" 5 (Db.hits db);
+      checki "warm hits" 6 (Db.hits db);
       checki "warm misses" 0 (Db.misses db);
       checkb "GDS byte-identical" true
         (String.equal (gds_bytes cold.Flow.layout) (gds_bytes warm.Flow.layout));
@@ -229,13 +229,14 @@ let test_param_change_invalidates_suffix () =
       ignore (Flow.run ~db ~seed:7 (aoi ()));
       let log = List.map (fun (s, o, _) -> (s, o)) (Db.outcomes db) in
       checkb "synth hit" true (List.mem ("synth", Db.Hit) log);
+      checkb "resyn hit" true (List.mem ("resyn", Db.Hit) log);
       checkb "place recomputed" true (List.mem ("place", Db.Miss) log);
       checkb "route recomputed" true (List.mem ("route", Db.Miss) log);
       checkb "layout recomputed" true (List.mem ("layout", Db.Miss) log);
       Db.reset_log db;
       (* ...and the original seed still hits everything *)
       ignore (Flow.run ~db (aoi ()));
-      checki "original seed all hits" 4 (Db.hits db))
+      checki "original seed all hits" 5 (Db.hits db))
 
 let test_partial_run_then_resume () =
   with_db (fun _dir db ->
@@ -245,7 +246,7 @@ let test_partial_run_then_resume () =
       | Ok staged ->
           checkb "no layout yet" true (staged.Flow.built = None);
           checkb "no result yet" true (staged.Flow.result = None);
-          checki "two stages ran" 2 (List.length staged.Flow.outcomes));
+          checki "three stages ran" 3 (List.length staged.Flow.outcomes));
       (* resuming finishes from the persisted prefix *)
       match Flow.run_staged ~db ~from_stage:Flow.Place (aoi ()) with
       | Error d -> Alcotest.fail (Diag.to_string d)
@@ -253,8 +254,8 @@ let test_partial_run_then_resume () =
           Alcotest.(check (list (pair string bool)))
             "prefix loaded, suffix computed"
             [
-              ("synth", true); ("place", true); ("route", false);
-              ("layout", false);
+              ("synth", true); ("resyn", true); ("place", true);
+              ("route", false); ("layout", false);
             ]
             (List.map
                (fun (s, o) -> (s, o = `Hit))
