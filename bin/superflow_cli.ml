@@ -160,7 +160,7 @@ let stage_of_cli s =
 
 let cmd_flow input placer_name router_name engine_opt resyn_name gds_out
     def_out svg_out tech_file jobs check seed db_dir from_opt to_opt resume
-    check_out =
+    check_out dsan =
   match
     ( load_input input,
       placer_of_string placer_name,
@@ -184,6 +184,10 @@ let cmd_flow input placer_name router_name engine_opt resyn_name gds_out
       Ok resyn_effort ) ->
       if db_dir = None && (from_opt <> None || resume) then
         exit_err "--from and --resume need a design database (--db DIR)";
+      if dsan && db_dir <> None then
+        exit_err
+          "--dsan runs are never cached (a hit would mask the race being \
+           hunted); drop --db";
       if resume then (
         match db_dir with
         | Some dir when not (Sys.file_exists (Filename.concat dir "meta")) ->
@@ -211,15 +215,22 @@ let cmd_flow input placer_name router_name engine_opt resyn_name gds_out
             | Ok db -> Some db
             | Error d -> exit_err (Diag.to_string d))
       in
+      let run () =
+        Flow.run_staged ~tech ~algorithm ~router ?seed ?jobs ?db ~from_stage
+          ~to_stage ~equiv_engine ~check_tier ~resyn_effort
+          ?gds_path:gds_out ?def_path:def_out aoi
+      in
+      let staged_res, dsan_findings =
+        if dsan then Dsan.with_sanitizer ~seed:0 run else (run (), [])
+      in
       let staged =
-        match
-          Flow.run_staged ~tech ~algorithm ~router ?seed ?jobs ?db ~from_stage
-            ~to_stage ~equiv_engine ~check_tier ~resyn_effort
-            ?gds_path:gds_out ?def_path:def_out aoi
-        with
+        match staged_res with
         | Ok s -> s
         | Error d -> exit_err (Diag.to_string d)
       in
+      List.iter
+        (fun f -> Format.eprintf "%a@." Diag.pp (Dsan.to_diag f))
+        dsan_findings;
       List.iter
         (fun d -> Format.eprintf "%a@." Diag.pp d)
         staged.Flow.db_warnings;
@@ -298,12 +309,17 @@ let cmd_flow input placer_name router_name engine_opt resyn_name gds_out
           (match def_out with
           | Some path when staged.Flow.routed <> None ->
               Format.printf "DEF written to %s@." path
-          | _ -> ()))
+          | _ -> ()));
+      if dsan_findings <> [] then begin
+        Format.eprintf "dsan: %d determinism finding(s)@."
+          (List.length dsan_findings);
+        exit 1
+      end
 
 (* ---- check ---- *)
 
 let cmd_check input placer_name router_name engine_opt tech_file jobs db_dir
-    json =
+    json dsan =
   match
     ( load_input input,
       placer_of_string placer_name,
@@ -318,6 +334,10 @@ let cmd_check input placer_name router_name engine_opt tech_file jobs db_dir
   | _, _, _, _, Error e ->
       exit_err e
   | Ok aoi, Ok algorithm, Ok router, Ok tech, Ok (equiv_engine, check_tier) ->
+      if dsan && db_dir <> None then
+        exit_err
+          "--dsan runs are never cached (a hit would mask the race being \
+           hunted); drop --db";
       let db =
         match db_dir with
         | None -> None
@@ -326,22 +346,46 @@ let cmd_check input placer_name router_name engine_opt tech_file jobs db_dir
             | Ok db -> Some db
             | Error d -> exit_err (Diag.to_string d))
       in
-      let r =
+      let run () =
         Flow.run ~tech ~algorithm ~router ?jobs ~check:true ~equiv_engine
           ~check_tier ?db aoi
+      in
+      let r, dsan_findings =
+        if dsan then Dsan.with_sanitizer ~seed:0 run else (run (), [])
       in
       let rep =
         match r.Flow.check_report with
         | Some rep -> rep
         | None -> assert false
       in
+      List.iter
+        (fun f -> Format.eprintf "%a@." Diag.pp (Dsan.to_diag f))
+        dsan_findings;
       print_string
         (if json then Check.render_json rep else Check.render_text rep);
       if not json then
         Format.printf "check runtime: %.2fs over %d pass(es)@."
           (Check.total_seconds rep)
           (List.length rep.Check.stats);
-      if not (Check.ok rep) then exit 1
+      if (not (Check.ok rep)) || dsan_findings <> [] then exit 1
+
+(* ---- sanitize ---- *)
+
+let cmd_sanitize input placer_name router_name tech_file seed schedules jobs =
+  match
+    ( load_input input,
+      placer_of_string placer_name,
+      router_of_string router_name,
+      load_tech tech_file )
+  with
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      exit_err e
+  | Ok aoi, Ok algorithm, Ok router, Ok tech -> (
+      match Sanitize.run ~tech ~algorithm ~router ~seed ~schedules ?jobs aoi with
+      | Error d -> exit_err (Diag.to_string d)
+      | Ok rep ->
+          print_string (Sanitize.render_text rep);
+          if rep.Sanitize.findings <> [] then exit 1)
 
 (* ---- drc ---- *)
 
@@ -692,12 +736,20 @@ let resyn_effort_arg =
                carries a window equivalence proof; part of the resyn stage's \
                cache key.")
 
+let dsan_flag_arg =
+  Arg.(value & flag & info [ "dsan" ]
+         ~doc:"Arm the determinism sanitizer for this run: chunk execution \
+               orders are fuzzed, tracked shared arrays check their \
+               ownership discipline, and every DSAN-* finding is printed to \
+               stderr (exit 1 on any). Incompatible with --db: sanitized \
+               runs are never cached.")
+
 let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Full RTL-to-GDS flow")
     Term.(const cmd_flow $ input_arg $ placer_arg $ router_arg $ engine_arg
           $ resyn_effort_arg $ gds_arg $ def_arg $ svg_arg $ tech_arg
           $ jobs_arg $ check_flag_arg $ seed_arg $ db_arg $ from_arg $ to_arg
-          $ resume_arg $ check_out_arg)
+          $ resume_arg $ check_out_arg $ dsan_flag_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ]
@@ -711,7 +763,31 @@ let check_cmd =
              placement audit, route connectivity, DRC and LVS-lite. Exits 1 \
              on any error-severity diagnostic.")
     Term.(const cmd_check $ input_arg $ placer_arg $ router_arg $ engine_arg
-          $ tech_arg $ jobs_arg $ db_arg $ json_arg)
+          $ tech_arg $ jobs_arg $ db_arg $ json_arg $ dsan_flag_arg)
+
+let sanitize_seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"Schedule-fuzzer seed (default 0). Every permutation replays \
+               exactly from it.")
+
+let schedules_arg =
+  Arg.(value & opt int 4 & info [ "schedules" ] ~docv:"N"
+         ~doc:"Fuzzed chunk-order permutations per arm (default 4).")
+
+let sanitize_cmd =
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:"Hunt determinism bugs in the parallel substrate: run the flow \
+             at jobs=1 (baseline), then under --schedules seeded \
+             chunk-order permutations at jobs=1 and at --jobs, with the \
+             race detector armed throughout. Artifact fingerprints \
+             (volatile wall-clock fields zeroed) are compared against the \
+             baseline and any divergence is binary-searched to its first \
+             differing stage/slot (DSAN-SCHED-01 / DSAN-DIVERGE-01); \
+             tracked shared arrays report ownership and overlap violations \
+             (DSAN-OWN/WW/RW-01). Exits 1 on any finding.")
+    Term.(const cmd_sanitize $ input_arg $ placer_arg $ router_arg $ tech_arg
+          $ sanitize_seed_arg $ schedules_arg $ jobs_arg)
 
 let drc_cmd =
   Cmd.v
@@ -815,7 +891,7 @@ let main =
     (Cmd.info "superflow" ~version:Flow.version
        ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
     [ synth_cmd; resyn_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; drc_cmd;
-      explain_cmd; timing_cmd; report_cmd; sim_cmd; verify_cmd; prove_cmd;
-      atpg_cmd; tables_cmd; bench_list_cmd ]
+      sanitize_cmd; explain_cmd; timing_cmd; report_cmd; sim_cmd; verify_cmd;
+      prove_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
 
 let () = exit (Cmd.eval main)

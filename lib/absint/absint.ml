@@ -37,17 +37,26 @@ let levels_of ~n ~order ~deps =
   done;
   Array.map Array.of_list buckets
 
-let solve ~n ~levels ~bot ~transfer =
+let solve ~n ~levels ~deps ~bot ~transfer =
   let facts = Array.make n bot in
+  (* distinct slots per lane: data-race free, order-independent. Under
+     the sanitizer, writes and the declared dep reads of each transfer
+     go through a footprint-tracked view — a dep scheduled into the
+     same level as its reader shows up as a same-batch RW overlap,
+     which is exactly a broken level invariant. *)
+  let facts_v = Dsan.wrap ~label:"absint.facts" ~mode:Dsan.Footprint facts in
   Array.iter
     (fun level ->
       let m = Array.length level in
-      (* distinct slots per lane: data-race free, order-independent *)
       ignore
-        (Parallel.map_chunks ~chunk:1024 ~n:m (fun lo hi ->
+        (Parallel.map_chunks ~label:"absint.level" ~chunk:1024 ~n:m (fun lo hi ->
              for k = lo to hi - 1 do
                let id = level.(k) in
-               facts.(id) <- transfer id facts
+               if Dsan.on () then begin
+                 List.iter (fun f -> ignore (Dsan.get facts_v f)) (deps id);
+                 Dsan.set facts_v id (transfer id facts)
+               end
+               else facts.(id) <- transfer id facts
              done)))
     levels;
   facts
@@ -56,19 +65,18 @@ module Solver (L : LATTICE) = struct
   let forward nl ~transfer =
     let n = Netlist.size nl in
     let order = Netlist.topo_order nl in
-    let levels =
-      levels_of ~n ~order ~deps:(fun i ->
-          Array.to_list (Netlist.fanins nl i))
-    in
-    solve ~n ~levels ~bot:L.bot ~transfer
+    let deps i = Array.to_list (Netlist.fanins nl i) in
+    let levels = levels_of ~n ~order ~deps in
+    solve ~n ~levels ~deps ~bot:L.bot ~transfer
 
   let backward nl ~fanouts ~transfer =
     let n = Netlist.size nl in
     let order = Netlist.topo_order nl in
     let rev = Array.make n 0 in
     Array.iteri (fun k id -> rev.(n - 1 - k) <- id) order;
-    let levels = levels_of ~n ~order:rev ~deps:(fun i -> fanouts.(i)) in
-    solve ~n ~levels ~bot:L.bot ~transfer
+    let deps i = fanouts.(i) in
+    let levels = levels_of ~n ~order:rev ~deps in
+    solve ~n ~levels ~deps ~bot:L.bot ~transfer
 end
 
 let describe nl i =

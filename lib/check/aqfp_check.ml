@@ -26,7 +26,7 @@ let check nl =
         0
     in
     let chunks =
-      Parallel.map_chunks ~chunk:4096 ~n (fun lo hi ->
+      Parallel.map_chunks ~label:"check.aqfp.nodes" ~chunk:4096 ~n (fun lo hi ->
           let diags = ref [] in
           let push d = diags := d :: !diags in
           for i = lo to hi - 1 do

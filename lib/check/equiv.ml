@@ -162,7 +162,7 @@ let check_pair ?(engine = `Auto) ?(max_nodes = 100_000)
     in
     (* one lane per primary output, verdicts combined in output order *)
     let verdicts =
-      Parallel.parallel_init ~chunk:1 n (fun i ->
+      Parallel.parallel_init ~label:"check.equiv.outputs" ~chunk:1 n (fun i ->
           match cached.(i) with
           | Some v -> v
           | None ->

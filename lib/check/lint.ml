@@ -7,7 +7,7 @@ let fanout_counts_parallel nl =
   (* per-chunk count buffers, summed left-to-right: identical to the
      serial count at any pool size *)
   let parts =
-    Parallel.map_chunks ~chunk:4096 ~n (fun lo hi ->
+    Parallel.map_chunks ~label:"check.lint.fanout" ~chunk:4096 ~n (fun lo hi ->
         let counts = Array.make n 0 in
         for i = lo to hi - 1 do
           Array.iter

@@ -119,7 +119,7 @@ let check p layout =
   in
   (* pass 4: per-edge classification, sharded in net-index chunks *)
   let chunks =
-    Parallel.map_chunks ~chunk:2048 ~n:n_nets (fun lo hi ->
+    Parallel.map_chunks ~label:"check.lvs.nets" ~chunk:2048 ~n:n_nets (fun lo hi ->
         let ds = ref [] in
         let push d = ds := d :: !ds in
         for ni = lo to hi - 1 do

@@ -40,7 +40,8 @@ let check nl p =
   let s_min = p.Problem.tech.Tech.s_min in
   (* geometric checks, one row-chunk per lane *)
   let row_chunks =
-    Parallel.map_chunks ~chunk:1 ~n:p.Problem.n_rows (fun lo hi ->
+    Parallel.map_chunks ~label:"check.place.rows" ~chunk:1 ~n:p.Problem.n_rows
+      (fun lo hi ->
         let ds = ref [] in
         let pushd d = ds := d :: !ds in
         for r = lo to hi - 1 do

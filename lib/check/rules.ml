@@ -104,6 +104,38 @@ let all =
     e "DRC-ZIGZAG-SPACING" Diag.Error "drc"
       "A via-to-via wire run is shorter than s_min (the paper's zig-zag \
        bent-wire rule).";
+    e "DSAN-DIVERGE-01" Diag.Error "dsan"
+      "A flow stage produced different artifact bytes at jobs=1 and jobs=k \
+       (volatile wall-clock fields zeroed before comparison); the witness \
+       names the first divergent stage and output slot.";
+    e "DSAN-EPOCH-01" Diag.Error "dsan"
+      "The router's search arena popped a state whose stamp predates the \
+       current epoch: the freshness test would read dist/parent values left \
+       over from a previous search.";
+    e "DSAN-NEST-01" Diag.Warning "dsan"
+      "A Parallel call was made from inside another call's chunk; it runs \
+       inline on one lane, so the inner loop gets no speedup and its chunk \
+       structure silently changes.";
+    e "DSAN-OWN-01" Diag.Error "dsan"
+      "A chunk wrote a tracked array outside its ownership discipline — \
+       beyond its static [lo, hi) slice, or to a read-only shared input. \
+       Witness: call-site label, chunk id and index.";
+    e "DSAN-REDUCE-01" Diag.Error "dsan"
+      "A parallel_reduce chunk partial differed from its serial replay over \
+       the same elements in the same order: map/combine reads or writes \
+       state that another chunk can touch.";
+    e "DSAN-RW-01" Diag.Error "dsan"
+      "One chunk read a tracked array index that another chunk of the same \
+       batch wrote: the read's value depends on the schedule. Witness: \
+       call-site label, both chunk ids and the index.";
+    e "DSAN-SCHED-01" Diag.Error "dsan"
+      "Output differed between the unfuzzed baseline and a seeded \
+       permutation of chunk execution order; since the combine order is \
+       fixed, the result depends on scheduling.";
+    e "DSAN-WW-01" Diag.Error "dsan"
+      "Two chunks of one batch wrote the same tracked array index: \
+       last-writer-wins makes the final value schedule-dependent. Witness: \
+       call-site label, both chunk ids and the index.";
     e "EQ-ARITY-01" Diag.Error "equiv"
       "The two netlists being compared have different primary input/output \
        counts; no per-output proof was attempted.";

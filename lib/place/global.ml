@@ -95,7 +95,7 @@ let desired_positions p nets_of ~timing_bias =
   (* each cell's target is a pure function of current positions, so
      cells fan out over the pool; fixed chunking keeps the result
      identical at every jobs count *)
-  Parallel.parallel_init ~chunk:256 n (fun ci ->
+  Parallel.parallel_init ~label:"place.desired" ~chunk:256 n (fun ci ->
     let c = p.Problem.cells.(ci) in
     match nets_of.(ci) with
     | [] -> c.Problem.x

@@ -160,7 +160,8 @@ let timing_cost t ?(alpha = 2.0) () =
      net chunks, partial sums combined left-to-right so the value does
      not depend on the domain count *)
   let parts =
-    Parallel.map_chunks ~chunk:2048 ~n:(Array.length t.nets) (fun lo hi ->
+    Parallel.map_chunks ~label:"place.timing" ~chunk:2048 ~n:(Array.length t.nets)
+      (fun lo hi ->
         let acc = ref 0.0 in
         for i = lo to hi - 1 do
           let e = t.nets.(i) in

@@ -15,14 +15,16 @@ let default_weights tech =
     alpha = 2.0;
   }
 
-let src_pin_x p e xs =
+(* pin positions go through a getter so [cost_and_grad] can hand the
+   chunks a sanitizer-tracked read-only view of [xs] *)
+let src_pin_x p e get =
   let c = p.Problem.cells.(e.Problem.src) in
-  xs.(e.Problem.src) +. c.Problem.lib.Cell.out_pins.(e.Problem.src_pin)
+  get e.Problem.src +. c.Problem.lib.Cell.out_pins.(e.Problem.src_pin)
 
-let dst_pin_x p e xs =
+let dst_pin_x p e get =
   let c = p.Problem.cells.(e.Problem.dst) in
   let pins = c.Problem.lib.Cell.in_pins in
-  xs.(e.Problem.dst) +. pins.(e.Problem.dst_pin mod Array.length pins)
+  get e.Problem.dst +. pins.(e.Problem.dst_pin mod Array.length pins)
 
 (* Smooth two-pin |b - a| via the WA estimator, with d/da and d/db.
    For two pins the WA max/min expressions reduce to logistic blends. *)
@@ -38,9 +40,10 @@ let wa_abs gamma a b =
   (value, -.dvalue_dd, dvalue_dd)
 
 let wa_wirelength p ~gamma xs =
+  let get i = xs.(i) in
   Array.fold_left
     (fun acc e ->
-      let xa = src_pin_x p e xs and xb = dst_pin_x p e xs in
+      let xa = src_pin_x p e get and xb = dst_pin_x p e get in
       let v, _, _ = wa_abs gamma xa xb in
       acc +. v)
     0.0 p.Problem.nets
@@ -65,12 +68,14 @@ let cost_and_grad p w xs =
      the result is independent of how many domains ran the chunks.
      (Chunk size is fixed, never derived from the pool size — that is
      the determinism contract of [Parallel.map_chunks].) *)
+  let xs_view = Dsan.wrap ~label:"place.xs" ~mode:Dsan.Read_only xs in
+  let get i = Dsan.get xs_view i in
   let net_chunk lo hi =
     let ccost = ref 0.0 in
     let cgrad = Array.make n 0.0 in
     for i = lo to hi - 1 do
       let e = p.Problem.nets.(i) in
-      let xa = src_pin_x p e xs and xb = dst_pin_x p e xs in
+      let xa = src_pin_x p e get and xb = dst_pin_x p e get in
       let v, dva, dvb = wa_abs w.gamma xa xb in
       ccost := !ccost +. v;
       cgrad.(e.Problem.src) <- cgrad.(e.Problem.src) +. dva;
@@ -100,7 +105,8 @@ let cost_and_grad p w xs =
     (!ccost, cgrad)
   in
   let parts =
-    Parallel.map_chunks ~chunk:1024 ~n:(Array.length p.Problem.nets) net_chunk
+    Parallel.map_chunks ~label:"place.grad" ~chunk:1024
+      ~n:(Array.length p.Problem.nets) net_chunk
   in
   Array.iter
     (fun (ccost, cgrad) ->

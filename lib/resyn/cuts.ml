@@ -147,7 +147,9 @@ let enumerate nl =
      nodes, so each level shards over the pool with ordered combine *)
   for l = 0 to !max_level do
     let ids = Array.of_list buckets.(l) in
-    let results = Parallel.parallel_map (fun id -> node_cuts nl cuts id) ids in
+    let results =
+      Parallel.parallel_map ~label:"resyn.cuts" (fun id -> node_cuts nl cuts id) ids
+    in
     Array.iteri (fun i id -> cuts.(id) <- results.(i)) ids
   done;
   cuts

@@ -253,7 +253,7 @@ let pass_rewrite guard diags nl =
       Array.of_list (List.filter (fun id -> is_gate (Netlist.kind nl id)) buckets.(l))
     in
     let results =
-      Parallel.parallel_map
+      Parallel.parallel_map ~label:"resyn.match"
         (fun id ->
           let keep =
             ( float_of_int (Cell.jj_of_kind (Netlist.kind nl id))

@@ -445,7 +445,7 @@ let route_all ?(via_cost = 20.0) ?(max_expansions = 400)
   (* route all pairs concurrently (one task per pair, in row order);
      failures are captured per pair and re-raised deterministically *)
   let outcomes =
-    Parallel.map_chunks ~chunk:1 ~n:n_pairs (fun r _ ->
+    Parallel.map_chunks ~label:"route.pairs" ~chunk:1 ~n:n_pairs (fun r _ ->
         try
           Ok
             (route_pair p r ~nets:by_row.(r) ~via_cost ~max_expansions

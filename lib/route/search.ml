@@ -268,6 +268,17 @@ let run a g ~costs ~via_q ~sx ~sy ~gx ~gy ~lo_x ~hi_x =
           let node = s lsr 1 in
           let dir = s land 1 in
           let ix = node mod nx and iy = node / nx in
+          (* the queue is cleared per search, so every popped state
+             must carry the current epoch; a stale stamp means the
+             freshness test below is about to read another search's
+             dist value *)
+          if Dsan.on () && stamp.(s) <> epoch then
+            Dsan.record ~rule:"DSAN-EPOCH-01" ~site:"route.pairs"
+              ~array_label:"search.arena" ~index:s
+              (Printf.sprintf
+                 "popped state %d carries stamp %d but the arena is at \
+                  epoch %d: stale dist/parent from a previous search"
+                 s stamp.(s) epoch);
           (* an entry is fresh iff its key is the state's current
              f-value; improvements strictly lower f, so stale entries
              compare greater and are skipped exactly *)

@@ -41,7 +41,8 @@ let analyze p =
      pool (fixed chunking keeps the array — and therefore wns/tns and
      the sorted worst list — identical at every jobs count) *)
   let timings =
-    Parallel.parallel_init ~chunk:512 n (fun ni -> net_slack_ps p ~row_width ni)
+    Parallel.parallel_init ~label:"sta.slack" ~chunk:512 n (fun ni ->
+        net_slack_ps p ~row_width ni)
   in
   let wns = ref infinity and tns = ref 0.0 and violations = ref 0 in
   Array.iter
@@ -128,7 +129,7 @@ let analyze_routed p (routed : Router.result) =
   let row_width = Float.max 1.0 (Problem.row_width p) in
   let n = Array.length p.Problem.nets in
   let timings =
-    Parallel.parallel_init ~chunk:512 n (fun ni ->
+    Parallel.parallel_init ~label:"sta.routed" ~chunk:512 n (fun ni ->
         let t = net_slack_ps p ~row_width ni in
         (* replace the Manhattan flight with the routed length *)
         let routed_flight =

@@ -7,11 +7,24 @@
    results are combined left-to-right in chunk order. A run with one
    domain therefore evaluates the exact same float expressions, in the
    exact same grouping, as a run with sixteen — only the wall-clock
-   interleaving differs. *)
+   interleaving differs.
+
+   The contract is *checkable*: every call site carries a [~label] and
+   an optional sanitizer (sf_dsan) can install {!hooks} that observe
+   batch boundaries, permute the chunk execution order (the combine
+   order never moves, so any output change under a permuted schedule
+   is a proven determinism bug), and attribute array accesses to the
+   chunk that made them via {!current_chunk}. With no hooks installed
+   every check below compiles down to one ref load, so the off mode
+   costs nothing. *)
 
 let max_jobs = 64
 
 let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
+
+(* a malformed SF_JOBS falls back to the domain count, but loudly:
+   silently ignoring "SF_JOBS=eight" cost real debugging time *)
+let warned_bad_env = ref false
 
 let env_jobs () =
   match Sys.getenv_opt "SF_JOBS" with
@@ -19,7 +32,16 @@ let env_jobs () =
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> Some (clamp n)
-      | _ -> None)
+      | _ ->
+          if not !warned_bad_env then begin
+            warned_bad_env := true;
+            Printf.eprintf
+              "superflow: warning: SF_JOBS=%S is not a positive integer; \
+               falling back to the machine's domain count\n\
+               %!"
+              s
+          end;
+          None)
 
 let requested : int option ref = ref None
 
@@ -34,6 +56,34 @@ let jobs () =
 let set_jobs n = requested := Some (clamp n)
 
 let auto_jobs () = requested := None
+
+(* ---- sanitizer hooks ----
+
+   Installed by sf_dsan, [None] in production. The submitting domain
+   installs hooks before any batch runs; the pool's queue mutex
+   publishes the write to every worker, so the plain ref is safe. *)
+
+type chunk_ctx = { cc_label : string; cc_chunk : int; cc_lo : int; cc_hi : int }
+
+type hooks = {
+  h_batch_start : label:string -> n_chunks:int -> unit;
+  h_permute : label:string -> int array -> unit;
+      (* may shuffle the chunk *execution* order in place *)
+  h_batch_end : label:string -> unit;
+  h_nested : label:string -> outer:string -> unit;
+  h_reduce_mismatch : label:string -> chunk:int -> unit;
+}
+
+let hooks : hooks option ref = ref None
+
+let set_hooks h = hooks := h
+
+(* which chunk this domain is currently executing (only maintained
+   while hooks are installed; [None] outside any chunk) *)
+let chunk_ctx : chunk_ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_chunk () = Domain.DLS.get chunk_ctx
 
 (* ---- the pool ----
 
@@ -156,12 +206,21 @@ let run_tasks (tasks : (unit -> unit) array) =
    so the chunk structure is identical whatever the pool size *)
 let default_chunk n = max 1 ((n + 63) / 64)
 
-let map_chunks ?chunk ~n f =
-  if n <= 0 then [||]
+let resolve_chunk chunk n =
+  match chunk with
+  | Some c when c <= 0 ->
+      invalid_arg "Parallel.map_chunks: chunk size must be positive"
+  | Some c -> c
+  | None -> default_chunk n
+
+let map_chunks ?(label = "unlabeled") ?chunk ~n f =
+  if n <= 0 then begin
+    (* still validate: a bad chunk size is a bug at every [n] *)
+    ignore (resolve_chunk chunk (max 1 n));
+    [||]
+  end
   else begin
-    let chunk =
-      match chunk with Some c -> max 1 c | None -> default_chunk n
-    in
+    let chunk = resolve_chunk chunk n in
     let n_chunks = (n + chunk - 1) / chunk in
     let results = Array.make n_chunks None in
     let task ci () =
@@ -169,7 +228,35 @@ let map_chunks ?chunk ~n f =
       let hi = min n (lo + chunk) in
       results.(ci) <- Some (try Ok (f lo hi) with e -> Error e)
     in
-    run_tasks (Array.init n_chunks task);
+    (match !hooks with
+    | None -> run_tasks (Array.init n_chunks task)
+    | Some h -> (
+        match current_chunk () with
+        | Some outer ->
+            (* nested call from inside a chunk: runs inline (no batch
+               of its own); the sanitizer records it and accesses stay
+               attributed to the outer chunk *)
+            h.h_nested ~label ~outer:outer.cc_label;
+            for ci = 0 to n_chunks - 1 do
+              task ci ()
+            done
+        | None ->
+            h.h_batch_start ~label ~n_chunks;
+            (* the sanitizer may permute the execution order; results
+               land by chunk index and the caller combines in chunk
+               order, so a permuted schedule must be unobservable *)
+            let order = Array.init n_chunks (fun i -> i) in
+            h.h_permute ~label order;
+            let tracked ci () =
+              let lo = ci * chunk in
+              let hi = min n (lo + chunk) in
+              Domain.DLS.set chunk_ctx
+                (Some { cc_label = label; cc_chunk = ci; cc_lo = lo; cc_hi = hi });
+              task ci ();
+              Domain.DLS.set chunk_ctx None
+            in
+            run_tasks (Array.map (fun ci -> tracked ci) order);
+            h.h_batch_end ~label));
     (* surface the leftmost chunk's failure so error behavior does not
        depend on scheduling *)
     Array.map
@@ -180,34 +267,49 @@ let map_chunks ?chunk ~n f =
       results
   end
 
-let parallel_init ?chunk n f =
+let parallel_init ?label ?chunk n f =
   let parts =
-    map_chunks ?chunk ~n (fun lo hi ->
+    map_chunks ?label ?chunk ~n (fun lo hi ->
         Array.init (hi - lo) (fun k -> f (lo + k)))
   in
   Array.concat (Array.to_list parts)
 
-let parallel_map ?chunk f a =
-  parallel_init ?chunk (Array.length a) (fun i -> f a.(i))
+let parallel_map ?label ?chunk f a =
+  parallel_init ?label ?chunk (Array.length a) (fun i -> f a.(i))
 
-let parallel_iter ?chunk f a =
+let parallel_iter ?label ?chunk f a =
   ignore
-    (map_chunks ?chunk ~n:(Array.length a) (fun lo hi ->
+    (map_chunks ?label ?chunk ~n:(Array.length a) (fun lo hi ->
          for i = lo to hi - 1 do
            f a.(i)
          done))
 
-let parallel_reduce ?chunk ~map ~combine ~init a =
+let parallel_reduce ?(label = "unlabeled") ?chunk ~map ~combine ~init a =
   let n = Array.length a in
   if n = 0 then init
   else begin
-    let parts =
-      map_chunks ?chunk ~n (fun lo hi ->
-          let acc = ref (map a.(lo)) in
-          for i = lo + 1 to hi - 1 do
-            acc := combine !acc (map a.(i))
-          done;
-          !acc)
+    let chunk_part lo hi =
+      let acc = ref (map a.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (map a.(i))
+      done;
+      !acc
     in
+    let parts = map_chunks ~label ?chunk ~n chunk_part in
+    (* combine/grouping audit: replay every chunk serially (same
+       grouping, same element order) and compare partials. A mismatch
+       proves [map]/[combine] touched state the schedule can reorder. *)
+    (match !hooks with
+    | Some h when current_chunk () = None ->
+        let c = resolve_chunk chunk n in
+        let n_chunks = (n + c - 1) / c in
+        for ci = 0 to n_chunks - 1 do
+          let replay = chunk_part (ci * c) (min n ((ci * c) + c)) in
+          let same =
+            try Stdlib.compare parts.(ci) replay = 0 with _ -> true
+          in
+          if not same then h.h_reduce_mismatch ~label ~chunk:ci
+        done
+    | _ -> ());
     Array.fold_left combine init parts
   end

@@ -12,13 +12,22 @@
 
     Pool size resolution, first match wins:
     + [set_jobs n] (the [--jobs] CLI flag / [Flow.run ~jobs]),
-    + the [SF_JOBS] environment variable,
+    + the [SF_JOBS] environment variable (a malformed value warns once
+      on stderr and is ignored),
     + [Domain.recommended_domain_count ()].
 
     A size of 1 short-circuits to plain serial execution (no domains
     are ever spawned). The pool is built lazily on first use, resized
     lazily after [set_jobs], and torn down [at_exit]. Calls made from
-    inside a chunk function run inline (no nested pools). *)
+    inside a chunk function run inline (no nested pools).
+
+    The contract is checkable: every call site should carry a [~label]
+    and the determinism sanitizer (sf_dsan) can install {!hooks} that
+    observe batch boundaries, permute the chunk {e execution} order
+    (the combine order never moves, so any output change under a
+    permuted schedule is a proven determinism bug), and attribute
+    array accesses to chunks via {!current_chunk}. With no hooks
+    installed every check compiles down to one ref load. *)
 
 val jobs : unit -> int
 (** The lane count the next parallel call will use (includes the
@@ -37,27 +46,39 @@ val shutdown : unit -> unit
 (** Join all worker domains. Safe to call at any quiescent point; the
     pool is rebuilt on the next parallel call. Also runs [at_exit]. *)
 
-val map_chunks : ?chunk:int -> n:int -> (int -> int -> 'b) -> 'b array
-(** [map_chunks ~chunk ~n f] applies [f lo hi] to each static chunk
-    [\[lo, hi)] of [0 .. n-1] ([hi - lo <= chunk]) and returns the
-    per-chunk results in chunk order. [chunk] defaults to [n/64]
+val map_chunks :
+  ?label:string -> ?chunk:int -> n:int -> (int -> int -> 'b) -> 'b array
+(** [map_chunks ~label ~chunk ~n f] applies [f lo hi] to each static
+    chunk [\[lo, hi)] of [0 .. n-1] ([hi - lo <= chunk]) and returns
+    the per-chunk results in chunk order. [chunk] defaults to [n/64]
     (rounded up). This is the primitive the other combinators are
     built on; use it directly for map-reduce with per-chunk
     accumulator buffers. If a chunk raises, the leftmost failing
-    chunk's exception is re-raised (deterministically). *)
+    chunk's exception is re-raised (deterministically).
 
-val parallel_init : ?chunk:int -> int -> (int -> 'a) -> 'a array
+    [label] names the call site ("drc.tiles", "route.pairs", …) in
+    sanitizer diagnostics; it has no effect on execution.
+
+    [n <= 0] returns [[||]] without calling [f] (the empty batch is
+    well-defined and not an error). [chunk <= 0] raises
+    [Invalid_argument] — including when [n <= 0], so the misuse is
+    caught on every input size. *)
+
+val parallel_init : ?label:string -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** Deterministic parallel [Array.init]. *)
 
-val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map :
+  ?label:string -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Deterministic parallel [Array.map]: same result, any pool size. *)
 
-val parallel_iter : ?chunk:int -> ('a -> unit) -> 'a array -> unit
+val parallel_iter :
+  ?label:string -> ?chunk:int -> ('a -> unit) -> 'a array -> unit
 (** Parallel [Array.iter]. [f] must only write to locations owned by
     its own element (disjoint writes), otherwise determinism — and
     memory safety of the result — is forfeit. *)
 
 val parallel_reduce :
+  ?label:string ->
   ?chunk:int ->
   map:('a -> 'b) ->
   combine:('b -> 'b -> 'b) ->
@@ -71,4 +92,43 @@ val parallel_reduce :
     [Array.fold_left (fun acc x -> combine acc (map x)) init a]; for
     merely deterministic [combine] (e.g. float addition) the result is
     still identical across pool sizes because the grouping is fixed by
-    the chunking, not by the schedule. *)
+    the chunking, not by the schedule.
+
+    Under sanitizer hooks each chunk partial is additionally replayed
+    serially and compared ([h_reduce_mismatch] fires on divergence),
+    which catches [map]/[combine] functions that read or write state
+    another chunk can touch. *)
+
+(** {1 Sanitizer interface}
+
+    Everything below is consumed by sf_dsan; production code never
+    touches it. *)
+
+type chunk_ctx = {
+  cc_label : string;  (** call-site label of the running batch *)
+  cc_chunk : int;  (** chunk index within the batch *)
+  cc_lo : int;  (** inclusive start of the owned index range *)
+  cc_hi : int;  (** exclusive end of the owned index range *)
+}
+
+type hooks = {
+  h_batch_start : label:string -> n_chunks:int -> unit;
+  h_permute : label:string -> int array -> unit;
+      (** receives the identity order and may shuffle it in place to
+          fuzz the chunk execution order *)
+  h_batch_end : label:string -> unit;
+  h_nested : label:string -> outer:string -> unit;
+      (** a parallel call was made from inside chunk [outer]; it runs
+          inline and is not tracked as a batch of its own *)
+  h_reduce_mismatch : label:string -> chunk:int -> unit;
+      (** a [parallel_reduce] chunk partial differed from its serial
+          replay *)
+}
+
+val set_hooks : hooks option -> unit
+(** Install (or clear) the sanitizer hooks. Must be called from the
+    submitting domain while no batch is in flight. *)
+
+val current_chunk : unit -> chunk_ctx option
+(** The chunk this domain is currently executing, or [None] outside
+    any chunk. Only maintained while hooks are installed. *)

@@ -92,6 +92,56 @@ let test_jobs_resolution () =
   checki "clamped below" 1 (with_jobs 0 (fun () -> Parallel.jobs ()));
   checki "clamped above" 64 (with_jobs 1000 (fun () -> Parallel.jobs ()))
 
+let test_invalid_sf_jobs_falls_back () =
+  (* a malformed SF_JOBS must warn (once, on stderr) and fall back to
+     the domain count instead of raising or silently misbehaving *)
+  Unix.putenv "SF_JOBS" "eight";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SF_JOBS" "")
+    (fun () ->
+      let j = Parallel.jobs () in
+      checkb "fell back to a sane pool size" true (j >= 1 && j <= 64));
+  Unix.putenv "SF_JOBS" "3";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SF_JOBS" "")
+    (fun () -> checki "valid SF_JOBS honored" 3 (Parallel.jobs ()))
+
+let test_chunk_validation () =
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "chunk=0 raises" true
+    (raises (fun () -> Parallel.map_chunks ~chunk:0 ~n:10 (fun _ _ -> ())));
+  checkb "chunk=-3 raises" true
+    (raises (fun () -> Parallel.map_chunks ~chunk:(-3) ~n:10 (fun _ _ -> ())));
+  checkb "chunk=0 raises even at n=0" true
+    (raises (fun () -> Parallel.map_chunks ~chunk:0 ~n:0 (fun _ _ -> ())));
+  (* n = 0: empty result, the chunk function is never called *)
+  let called = ref false in
+  let r =
+    Parallel.map_chunks ~chunk:4 ~n:0 (fun _ _ -> called := true)
+  in
+  checki "n=0 yields no chunks" 0 (Array.length r);
+  checkb "n=0 never calls f" false !called;
+  checki "n=0 default chunk" 0
+    (Array.length (Parallel.map_chunks ~n:0 (fun _ _ -> ())))
+
+(* grouping stability: with an associative combine, the reduce result
+   is the same whatever chunk size sliced the array *)
+let reduce_grouping_stable =
+  QCheck.Test.make ~count:100 ~name:"reduce grouping-stable across chunk sizes"
+    QCheck.(pair (list small_int) (int_range 1 50))
+    (fun (l, chunk) ->
+      let a = Array.of_list l in
+      let serial = Array.fold_left ( + ) 0 a in
+      let v =
+        with_jobs 4 (fun () ->
+            Parallel.parallel_reduce ~chunk ~map:Fun.id ~combine:( + ) ~init:0 a)
+      in
+      v = serial)
+
 (* ---- whole flow: jobs=1 vs jobs=4, byte-identical GDS ---- *)
 
 let read_bytes path = In_channel.with_open_bin path In_channel.input_all
@@ -137,6 +187,11 @@ let () =
             test_exception_is_leftmost;
           Alcotest.test_case "jobs resolution and clamping" `Quick
             test_jobs_resolution;
+          Alcotest.test_case "invalid SF_JOBS falls back loudly" `Quick
+            test_invalid_sf_jobs_falls_back;
+          Alcotest.test_case "chunk validation and n=0" `Quick
+            test_chunk_validation;
+          QCheck_alcotest.to_alcotest reduce_grouping_stable;
         ] );
       ( "full flow",
         [

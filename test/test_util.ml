@@ -220,7 +220,28 @@ let test_rng_split_independent () =
   let rng = Rng.create 5 in
   let sub = Rng.split rng in
   let x = Rng.int rng 1000000 and y = Rng.int sub 1000000 in
-  checkb "streams differ (overwhelmingly)" true (x <> y || Rng.int rng 10 >= 0)
+  checkb "streams differ (overwhelmingly)" true (x <> y || Rng.int rng 10 >= 0);
+  (* sub-stream independence: the first 10k raw draws of the parent
+     and child streams share no 64-bit output — a splitmix64 child
+     whose state re-entered the parent's orbit would collide *)
+  let n = 10_000 in
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let seen = Hashtbl.create (4 * n) in
+  for i = 1 to n do
+    let v = Rng.bits64 parent in
+    checkb
+      (Printf.sprintf "parent draw %d fresh" i)
+      false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done;
+  for i = 1 to n do
+    let v = Rng.bits64 child in
+    checkb
+      (Printf.sprintf "child draw %d disjoint from parent" i)
+      false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done
 
 (* ---------- Geom ---------- *)
 
