@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: build test bench bench-quick bench-speedup explain-all clean
+.PHONY: build test bench bench-quick bench-speedup explain-all mlint clean
 
 build:
 	dune build
@@ -27,6 +27,12 @@ bench-speedup:
 # CI uses this as a smoke test that the registry is self-consistent.
 explain-all:
 	dune exec bin/superflow_cli.exe -- explain --all
+
+# Self-hosted static analyzer: parse every lib/**/*.ml and bin/*.ml
+# and enforce the SL-* determinism/hygiene rules. Exits 1 on any
+# unsuppressed error-severity finding. CI runs this as a merge gate.
+mlint:
+	dune exec bin/superflow_cli.exe -- mlint
 
 clean:
 	dune clean

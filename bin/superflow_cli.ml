@@ -578,6 +578,52 @@ let cmd_report input placer_name html_out jobs =
           Format.printf "HTML report written to %s@." path
       | None -> ())
 
+(* ---- mlint ---- *)
+
+let cmd_mlint root json update_baseline baseline_opt =
+  let known_ids = List.map (fun r -> r.Rules.id) Rules.all in
+  let baseline_path =
+    match baseline_opt with
+    | Some p -> p
+    | None -> Filename.concat root "mlint_baselines.txt"
+  in
+  let baseline =
+    match Mlint.load_baseline baseline_path with
+    | Ok lines -> lines
+    | Error msg -> exit_err (Printf.sprintf "%s: %s" baseline_path msg)
+  in
+  let baseline = if update_baseline then [] else baseline in
+  match Mlint.run ~known_ids ~baseline ~root () with
+  | Error msg -> exit_err msg
+  | Ok rep ->
+      if update_baseline then begin
+        let lines = Mlint.baseline_lines rep.Mlint.findings in
+        let oc = open_out baseline_path in
+        output_string oc
+          "# Grandfathered SL-* errors (regenerate: superflow mlint \
+           --update-baseline).\n\
+           # Keep this empty or near-empty: new code fixes or sl-ignores its \
+           findings.\n";
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        close_out oc;
+        Format.eprintf "%s@." (Mlint.summary rep);
+        Format.printf "baseline: %d entr%s written to %s@." (List.length lines)
+          (if List.length lines = 1 then "y" else "ies")
+          baseline_path
+      end
+      else begin
+        List.iter
+          (fun fd ->
+            print_endline
+              (if json then Mlint.render_json fd else Mlint.render_text fd))
+          rep.Mlint.findings;
+        List.iter
+          (fun e -> Format.eprintf "# mlint: stale baseline entry: %s@." e)
+          rep.Mlint.stale_baseline;
+        Format.eprintf "%s@." (Mlint.summary rep);
+        if rep.Mlint.errors > 0 then exit 1
+      end
+
 (* ---- explain ---- *)
 
 let cmd_explain id_opt all markdown =
@@ -856,6 +902,36 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Full design signoff report (area/wiring/timing/energy)")
     Term.(const cmd_report $ input_arg $ placer_arg $ html_arg $ jobs_arg)
 
+let mlint_root_arg =
+  Arg.(value & pos 0 string "." & info [] ~docv:"ROOT"
+         ~doc:"Repository root to analyze (must contain lib/; bin/ is \
+               included when present). Defaults to the current directory.")
+
+let mlint_update_arg =
+  Arg.(value & flag & info [ "update-baseline" ]
+         ~doc:"Rewrite the baseline file with today's unsuppressed \
+               error-severity findings instead of failing on them.")
+
+let mlint_baseline_arg =
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+         ~doc:"Baseline file of grandfathered findings (default \
+               ROOT/mlint_baselines.txt).")
+
+let mlint_cmd =
+  Cmd.v
+    (Cmd.info "mlint"
+       ~doc:"Statically enforce the determinism/purity contract over the \
+             flow's own OCaml sources: parse every lib/**/*.ml and bin/*.ml \
+             with compiler-libs and evaluate the SL-* rules (unordered \
+             Hashtbl iteration, wall-clock and Marshal escapes, polymorphic \
+             compares, unregistered global state, swallowed exceptions, \
+             unlabeled Parallel sites, stdout prints, exit in libraries, \
+             unregistered diagnostic ids). Suppress single sites with \
+             (* sl-ignore: SL-XXX-NN reason *) comments. Exits 1 on any \
+             unsuppressed, unbaselined error.")
+    Term.(const cmd_mlint $ mlint_root_arg $ json_arg $ mlint_update_arg
+          $ mlint_baseline_arg)
+
 let explain_id_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"RULE-ID"
          ~doc:"A diagnostic rule id, e.g. AI-PHASE-01 or NL-DEAD-01.")
@@ -891,7 +967,7 @@ let main =
     (Cmd.info "superflow" ~version:Flow.version
        ~doc:"Fully-customized RTL-to-GDS design automation flow for AQFP circuits")
     [ synth_cmd; resyn_cmd; place_cmd; route_cmd; flow_cmd; check_cmd; drc_cmd;
-      sanitize_cmd; explain_cmd; timing_cmd; report_cmd; sim_cmd; verify_cmd;
-      prove_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
+      sanitize_cmd; mlint_cmd; explain_cmd; timing_cmd; report_cmd; sim_cmd;
+      verify_cmd; prove_cmd; atpg_cmd; tables_cmd; bench_list_cmd ]
 
 let () = exit (Cmd.eval main)

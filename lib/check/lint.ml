@@ -59,7 +59,7 @@ let check ?(tier = Check.Full) nl =
         | Netlist.Not | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor
         | Netlist.Xor | Netlist.Xnor | Netlist.Maj -> (
             let key =
-              ( List.sort compare (Array.to_list nd.Netlist.fanins),
+              ( List.sort Int.compare (Array.to_list nd.Netlist.fanins),
                 lits.(nd.Netlist.id) )
             in
             match Hashtbl.find_opt dup key with

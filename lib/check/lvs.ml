@@ -110,7 +110,7 @@ let check p layout =
   Hashtbl.iter
     (fun root ps ->
       comp_dsts.(root) <- ps.dsts;
-      comp_all.(root) <- List.sort_uniq compare (ps.srcs @ ps.dsts))
+      comp_all.(root) <- List.sort_uniq Int.compare (ps.srcs @ ps.dsts))
     comp;
   let node_of ni side =
     let e = nets.(ni) in

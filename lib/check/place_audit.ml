@@ -48,7 +48,7 @@ let check nl p =
           let row = p.Problem.row_cells.(r) in
           let sorted = Array.copy row in
           Array.sort
-            (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
+            (fun a b -> Float.compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
             sorted;
           let packed = ref 0.0 in
           Array.iter

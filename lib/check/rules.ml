@@ -195,6 +195,45 @@ let all =
       "A resynthesis rewrite's window equivalence proof failed or timed out; \
        the rewrite was refused and the original cone kept.";
     e "RT-CONN-01" Diag.Error "route" "A routed net does not connect its pins.";
+    e "SL-CATCH-01" Diag.Error "mlint"
+      "A catch-all exception handler (with _ ->) swallows the exception; \
+       failures must surface as diagnostics or re-raise, not vanish.";
+    e "SL-EXIT-01" Diag.Error "mlint"
+      "A library calls exit, preempting the CLI's error handling and exit \
+       codes; only bin/ may terminate the process.";
+    e "SL-GLOBAL-01" Diag.Error "mlint"
+      "Module-level mutable state (ref/Hashtbl.create/Buffer/...) in a \
+       library that is not registered in the determinism-contract table; \
+       hidden globals make stages order- and reentrancy-sensitive.";
+    e "SL-HASH-01" Diag.Error "mlint"
+      "Hashtbl.iter/fold/to_seq with no sort in the enclosing definition: \
+       hash-bucket iteration order is unspecified, so anything derived from \
+       it can differ between runs and builds.";
+    e "SL-LABEL-01" Diag.Error "mlint"
+      "A Parallel call site carries no ~label, so sanitizer findings and the \
+       call-site inventory cannot name it (static form of sf_dsan's \
+       runtime-only labeling check).";
+    e "SL-MARSHAL-01" Diag.Error "mlint"
+      "Marshal outside lib/db/codec.ml bypasses the versioned, checksummed \
+       Codec frames the design database depends on.";
+    e "SL-PARSE-01" Diag.Error "mlint"
+      "A source file failed to parse (or read), so none of its contents \
+       could be checked against the determinism contract.";
+    e "SL-POLY-01" Diag.Warning "mlint"
+      "Polymorphic compare/Stdlib.compare/Hashtbl.hash in a stage library; \
+       prefer a monomorphic comparator — polymorphic compare raises on \
+       closures and silently orders by representation.";
+    e "SL-PRINT-01" Diag.Error "mlint"
+      "A library prints to stdout; reports must be returned as strings (or \
+       take a formatter) so stdout stays byte-comparable and CLI-owned.";
+    e "SL-RULEID-01" Diag.Error "mlint"
+      "A diagnostic-id-shaped string literal has no entry in the Rules \
+       registry (subsumes the old CI grep meta-lint; superflow explain must \
+       resolve every id the code can emit).";
+    e "SL-TIME-01" Diag.Error "mlint"
+      "Sys.time/Unix.gettimeofday/Random.self_init outside the Wallclock \
+       module; wall-clock or nondeterministic seeds must never reach stage \
+       outputs or cache keys.";
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

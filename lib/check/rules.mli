@@ -8,8 +8,8 @@
     - the rule-catalog section of [docs/ARCHITECTURE.md], generated
       by {!catalog_markdown} (via [superflow explain --all
       --markdown] / [make explain-all]);
-    - the CI meta-lint, which greps every [XX-YY-NN]-shaped id out of
-      [lib/] and fails if any is missing here.
+    - the [sf_mlint] SL-RULEID-01 rule, which fails any rule-id
+      literal in [lib/] or [bin/] that has no entry here.
 
     Keep it sorted and complete: a rule id used anywhere in [lib/]
     without a registry entry is a build-gate failure, not a style

@@ -69,6 +69,8 @@ let to_diag f =
    [h_batch_start] and [h_batch_end] on the submitting domain, and the
    pool's own synchronization gives the happens-before edges. *)
 
+(* sanitizer arm/disarm flag, read-only on the hot path.
+   sl-ignore: SL-GLOBAL-01 listed in the determinism-contract table *)
 let active = Atomic.make false
 
 let on () = Atomic.get active
@@ -90,6 +92,8 @@ type session = {
   dedup : (string * string * string * int, unit) Hashtbl.t;
 }
 
+(* the one live sanitizer session, guarded by its mutex.
+   sl-ignore: SL-GLOBAL-01 listed in the determinism-contract table *)
 let session : session option ref = ref None
 
 let with_session f = match !session with None -> () | Some s -> f s

@@ -63,7 +63,10 @@ let on_grid ~grid x = x mod grid = 0
    [lo, hi] (touching intervals chain) *)
 let union_covers lo hi ivs =
   let ivs = List.filter (fun (l, h) -> h >= lo && l <= hi) ivs in
-  match List.sort compare ivs with
+  let cmp_iv (l1, h1) (l2, h2) =
+    match Int.compare l1 l2 with 0 -> Int.compare h1 h2 | c -> c
+  in
+  match List.sort cmp_iv ivs with
   | [] -> false
   | (l0, h0) :: rest ->
       if l0 > lo then false
@@ -94,7 +97,7 @@ let covered target by =
     let xs =
       List.concat_map (fun r -> [ r.lx; r.hx ]) by
       |> List.filter (fun x -> x > target.lx && x < target.hx)
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     in
     let xs = (target.lx :: xs) @ [ target.hx ] in
     let rec slabs = function

@@ -21,7 +21,7 @@ let build intervals =
     | ivs ->
         (* median of endpoints keeps the tree balanced enough *)
         let pts = List.concat_map (fun (lo, hi, _) -> [ lo; hi ]) ivs in
-        let sorted = List.sort compare pts in
+        let sorted = List.sort Int.compare pts in
         let center = List.nth sorted (List.length sorted / 2) in
         let here, left, right =
           List.fold_left
@@ -40,11 +40,17 @@ let build intervals =
             right = make (List.rev right);
             by_lo =
               Array.of_list
-                (List.sort (fun (a, _, i) (b, _, j) -> compare (a, i) (b, j)) here);
+                (List.sort
+                   (fun (a, _, i) (b, _, j) ->
+                     match Int.compare a b with 0 -> Int.compare i j | c -> c)
+                   here);
             by_hi =
               Array.of_list
                 (List.map (fun (lo, hi, i) -> (hi, lo, i)) here
-                |> List.sort (fun (a, _, i) (b, _, j) -> compare (b, j) (a, i)));
+                |> List.sort (fun (a, _, i) (b, _, j) ->
+                       match Int.compare b a with
+                       | 0 -> Int.compare j i
+                       | c -> c));
           }
   in
   make all

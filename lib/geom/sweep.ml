@@ -19,7 +19,8 @@
 module M = Map.Make (struct
   type t = int * int
 
-  let compare = compare
+  let compare (a, b) (c, d) =
+    match Int.compare a c with 0 -> Int.compare b d | e -> e
 end)
 
 let close_pairs ~dist (rects : Igeom.irect array) f =
@@ -27,7 +28,10 @@ let close_pairs ~dist (rects : Igeom.irect array) f =
   if n > 1 then begin
     let order = Array.init n (fun i -> i) in
     Array.sort
-      (fun a b -> compare (rects.(a).Igeom.lx, a) (rects.(b).Igeom.lx, b))
+      (fun a b ->
+        match Int.compare rects.(a).Igeom.lx rects.(b).Igeom.lx with
+        | 0 -> Int.compare a b
+        | c -> c)
       order;
     let max_h = ref 0 in
     Array.iter (fun r -> max_h := max !max_h (Igeom.height r)) rects;

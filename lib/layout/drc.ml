@@ -141,6 +141,8 @@ let extract d (t : Layout.t) =
    only on content, which is what makes tile verdicts cacheable *)
 let sort_shapes a =
   let a = Array.copy a in
+  (* the whole point is structural order over the full shape record.
+     sl-ignore: SL-POLY-01 every field compares structurally, no floats *)
   Array.sort Stdlib.compare a;
   a
 
@@ -270,7 +272,10 @@ let shape_diags d view s push =
                 y,
                 Diag.error ~rule:"DRC-OFF-GRID" ~witness:[ wit s ] (at x y)
                   "net %d wire endpoint off grid" s.net ))
-        (List.sort_uniq compare [ (s.ax, s.ay); (s.bx, s.by) ]);
+        (List.sort_uniq
+           (fun (x1, y1) (x2, y2) ->
+             match Int.compare x1 x2 with 0 -> Int.compare y1 y2 | c -> c)
+           [ (s.ax, s.ay); (s.bx, s.by) ]);
       let cx = (s.r.Igeom.lx + s.r.Igeom.hx) / 2
       and cy = (s.r.Igeom.ly + s.r.Igeom.hy) / 2 in
       let wmin = min (Igeom.width s.r) (Igeom.height s.r) in
@@ -355,7 +360,7 @@ let endpoint_tables shapes =
     shapes;
   let wire_layers_at net x y =
     Option.value ~default:[] (Hashtbl.find_opt ends (net, x, y))
-    |> List.sort_uniq compare
+    |> List.sort_uniq Int.compare
   in
   let via_at net x y = Hashtbl.mem vias (net, x, y) in
   (wire_layers_at, via_at)
@@ -389,7 +394,7 @@ let tile_view (shapes : shape array) =
         let r = shapes.(i).r in
         if r.Igeom.ly <= probe.Igeom.hy && r.Igeom.hy >= probe.Igeom.ly then
           hits := i :: !hits);
-    List.sort compare !hits |> List.map (fun i -> shapes.(i))
+    List.sort Int.compare !hits |> List.map (fun i -> shapes.(i))
   in
   { wire_layers_at; via_at; wires_near }
 
@@ -674,4 +679,4 @@ let gap_hints p diags =
          match dg.Diag.loc with
          | Diag.At (_, y) -> Some (find_gap y)
          | _ -> None)
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare

@@ -151,7 +151,7 @@ let to_gds ?(libname = "SUPERFLOW") t =
   Array.iter (fun pc -> Hashtbl.replace used pc.lib.Cell.cell_name pc.lib) t.cells;
   let cell_structs =
     Hashtbl.fold (fun _ c acc -> cell_structure c :: acc) used []
-    |> List.sort (fun a b -> compare a.Gds.sname b.Gds.sname)
+    |> List.sort (fun a b -> String.compare a.Gds.sname b.Gds.sname)
   in
   let srefs =
     Array.to_list

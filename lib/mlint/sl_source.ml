@@ -1,0 +1,69 @@
+type t = {
+  path : string;
+  text : string;
+  lines : string array;
+  supp : string list array;
+}
+
+let split_lines text = Array.of_list (String.split_on_char '\n' text)
+
+let marker = "sl-ignore:"
+
+let is_id_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
+
+(* rule ids following an [sl-ignore:] marker: consecutive tokens made
+   of [A-Z0-9-] that contain a dash; the first other token starts the
+   free-form reason *)
+let ids_after line pos =
+  let n = String.length line in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec token_end i = if i < n && is_id_char line.[i] then token_end (i + 1) else i in
+  let rec collect acc i =
+    let i = skip_ws i in
+    let j = token_end i in
+    if j > i && String.contains (String.sub line i (j - i)) '-' then
+      let j' = if j < n && line.[j] = ',' then j + 1 else j in
+      collect (String.sub line i (j - i) :: acc) j'
+    else List.rev acc
+  in
+  collect [] pos
+
+let find_sub line sub from =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let line_suppressions line =
+  let rec go acc from =
+    match find_sub line marker from with
+    | None -> acc
+    | Some i -> go (acc @ ids_after line (i + String.length marker)) (i + String.length marker)
+  in
+  go [] 0
+
+let of_string ~path text =
+  let lines = split_lines text in
+  let supp = Array.map line_suppressions lines in
+  { path; text; lines; supp }
+
+let load ~root ~rel =
+  let full = Filename.concat root rel in
+  match In_channel.with_open_bin full In_channel.input_all with
+  | text -> Ok (of_string ~path:rel text)
+  | exception Sys_error msg -> Error msg
+
+let line t n = if n >= 1 && n <= Array.length t.lines then t.lines.(n - 1) else ""
+
+let snippet t ~line:n =
+  let s = String.trim (line t n) in
+  if String.length s <= 96 then s else String.sub s 0 93 ^ "..."
+
+let supp_at t n =
+  if n >= 1 && n <= Array.length t.supp then t.supp.(n - 1) else []
+
+let suppressed t ~rule ~line =
+  List.mem rule (supp_at t line) || List.mem rule (supp_at t (line - 1))

@@ -87,7 +87,7 @@ let run ?(options = default_options) p =
     Array.map
       (fun row ->
         let o = Array.copy row in
-        Array.sort (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x) o;
+        Array.sort (fun a b -> Float.compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x) o;
         o)
       p.Problem.row_cells
   in
@@ -100,7 +100,7 @@ let run ?(options = default_options) p =
       0.0 nets
   in
   let union_nets a b =
-    List.sort_uniq compare (nets_of.(a) @ nets_of.(b))
+    List.sort_uniq Int.compare (nets_of.(a) @ nets_of.(b))
   in
   (* preferred x for a cell: mean of its net partners' pin positions *)
   let desired_x c ci =

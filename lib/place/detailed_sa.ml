@@ -33,7 +33,7 @@ let run ?(options = default_options) p =
         (fun row ->
           let o = Array.copy row in
           Array.sort
-            (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
+            (fun a b -> Float.compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
             o;
           o)
         p.Problem.row_cells
@@ -139,7 +139,7 @@ let run ?(options = default_options) p =
         in
         if not ok then false
         else begin
-          let nets = List.sort_uniq compare (nets_of.(ci) @ nets_of.(cj)) in
+          let nets = List.sort_uniq Int.compare (nets_of.(ci) @ nets_of.(cj)) in
           let before = eval_nets nets in
           a.Problem.x <- xa_new;
           b.Problem.x <- xb_new;

@@ -19,7 +19,7 @@ let legalize_row p r =
   let tech = p.Problem.tech in
   let order = Array.copy p.Problem.row_cells.(r) in
   Array.sort
-    (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
+    (fun a b -> Float.compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
     order;
   let clusters : cluster list ref = ref [] in
   let rec merge_overlaps = function

@@ -88,7 +88,7 @@ let superflow_pipeline ~seed p =
   !moves
 
 let place ?(seed = 1) algorithm p =
-  let t0 = Sys.time () in
+  let t0 = Wallclock.now_s () in
   let moves =
     match algorithm with
     | Gordian ->
@@ -108,7 +108,7 @@ let place ?(seed = 1) algorithm p =
     hpwl = Problem.hpwl p;
     buffer_lines = Problem.buffer_lines p;
     timing_cost = Problem.timing_cost p ();
-    runtime_s = Sys.time () -. t0;
+    runtime_s = Wallclock.now_s () -. t0;
     moves;
   }
 

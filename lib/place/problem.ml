@@ -201,7 +201,7 @@ let check_legal t =
   Array.iteri
     (fun r row ->
       let sorted = Array.copy row in
-      Array.sort (fun a b -> compare t.cells.(a).x t.cells.(b).x) sorted;
+      Array.sort (fun a b -> Float.compare t.cells.(a).x t.cells.(b).x) sorted;
       for i = 0 to Array.length sorted - 2 do
         let a = t.cells.(sorted.(i)) and b = t.cells.(sorted.(i + 1)) in
         let gap = b.x -. (a.x +. a.lib.Cell.width) in

@@ -88,7 +88,7 @@ let optimize_row_with ?(options = default_options) p nets_of r =
   let grid = tech.Tech.grid in
   let order = Array.copy p.Problem.row_cells.(r) in
   Array.sort
-    (fun a b -> compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
+    (fun a b -> Float.compare p.Problem.cells.(a).Problem.x p.Problem.cells.(b).Problem.x)
     order;
   let n = Array.length order in
   if n = 0 then false

@@ -120,7 +120,7 @@ let cost_and_grad p w xs =
   Array.iter
     (fun row ->
       let order = Array.copy row in
-      Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+      Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) order;
       for i = 0 to Array.length order - 2 do
         let a = order.(i) and b = order.(i + 1) in
         let wa_ = p.Problem.cells.(a).Problem.lib.Cell.width in

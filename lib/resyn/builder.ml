@@ -11,7 +11,7 @@ let output t ?name driver = ignore (Netlist.add t.out ?name Netlist.Output [| dr
 
 let hashed t kind fanins =
   let key_fanins =
-    if Netlist.commutative kind then List.sort compare fanins else fanins
+    if Netlist.commutative kind then List.sort Int.compare fanins else fanins
   in
   match Hashtbl.find_opt t.hash (kind, key_fanins) with
   | Some id -> id

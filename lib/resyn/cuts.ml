@@ -28,7 +28,7 @@ let expand old_leaves tt new_leaves =
   !tt'
 
 let merge_leaves a b =
-  let uniq = List.sort_uniq compare (Array.to_list a @ Array.to_list b) in
+  let uniq = List.sort_uniq Int.compare (Array.to_list a @ Array.to_list b) in
   if List.length uniq <= 3 then Some (Array.of_list uniq) else None
 
 let width_mask leaves = (1 lsl (1 lsl Array.length leaves)) - 1
@@ -121,7 +121,7 @@ let node_cuts nl cuts id =
     let rest =
       List.tl all
       |> List.stable_sort (fun a b ->
-             compare (Array.length b.leaves) (Array.length a.leaves))
+             Int.compare (Array.length b.leaves) (Array.length a.leaves))
     in
     List.hd all :: List.filteri (fun i _ -> i < cuts_per_node - 1) rest
 

@@ -344,13 +344,16 @@ let pass_balance nl =
         in
         collect nd.Netlist.id;
         let ids =
-          List.sort_uniq compare (List.rev_map realize !leaves)
+          List.sort_uniq Int.compare (List.rev_map realize !leaves)
         in
         if List.length ids <= 2 then None
         else begin
           let out = Builder.netlist b in
+          let cmp_level (la, a) (lb, b) =
+            match Int.compare la lb with 0 -> Int.compare a b | c -> c
+          in
           let pq =
-            ref (List.sort compare (List.map (fun id -> (blevel out id, id)) ids))
+            ref (List.sort cmp_level (List.map (fun id -> (blevel out id, id)) ids))
           in
           let rec combine () =
             match !pq with
@@ -360,7 +363,7 @@ let pass_balance nl =
                 let g = Builder.gate2 b k a bo in
                 let lg = 1 + max la lb in
                 pq :=
-                  List.merge compare [ (lg, g) ] rest;
+                  List.merge cmp_level [ (lg, g) ] rest;
                 combine ()
           in
           Some (combine ())

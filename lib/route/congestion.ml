@@ -13,7 +13,7 @@ let channel_density p r =
   let sorted =
     List.sort
       (fun (x1, d1) (x2, d2) ->
-        match compare x1 x2 with 0 -> compare d1 d2 | c -> c)
+        match Float.compare x1 x2 with 0 -> Int.compare d1 d2 | c -> c)
       !events
   in
   let cur = ref 0 and best = ref 0 in

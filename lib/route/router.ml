@@ -303,9 +303,12 @@ let route_pair p r ~nets ~via_cost ~max_expansions ~algorithm ~core ~margin =
     List.sort
       (fun a b ->
         let prio n = if Hashtbl.mem promoted n then 0 else 1 in
-        compare
-          (prio a, Float.abs (Problem.net_dx p p.Problem.nets.(a)))
-          (prio b, Float.abs (Problem.net_dx p p.Problem.nets.(b))))
+        match Int.compare (prio a) (prio b) with
+        | 0 ->
+            Float.compare
+              (Float.abs (Problem.net_dx p p.Problem.nets.(a)))
+              (Float.abs (Problem.net_dx p p.Problem.nets.(b)))
+        | c -> c)
       nets
   in
   let rec attempt ~promotions tries =

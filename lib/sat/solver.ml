@@ -288,7 +288,7 @@ let record s lits =
 let add_clause s lits =
   if s.ok then begin
     cancel_until s 0;
-    let lits = List.sort_uniq compare lits in
+    let lits = List.sort_uniq Int.compare lits in
     let taut = List.exists (fun l -> List.mem (l lxor 1) lits) lits in
     let sat_ = List.exists (fun l -> lit_value s l = 1) lits in
     if not (taut || sat_) then begin
@@ -336,7 +336,7 @@ let reduce_db s =
       (fun a b ->
         if a.act < b.act then -1
         else if a.act > b.act then 1
-        else compare a.cid b.cid)
+        else Int.compare a.cid b.cid)
       arr;
     let lim = s.cla_inc /. float_of_int n in
     Vec.clear s.learnts;

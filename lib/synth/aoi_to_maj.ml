@@ -24,7 +24,7 @@ let expand old_leaves tt new_leaves =
 
 let merge_leaves a b =
   let seen = Array.to_list a @ Array.to_list b in
-  let uniq = List.sort_uniq compare seen in
+  let uniq = List.sort_uniq Int.compare seen in
   if List.length uniq <= 3 then Some (Array.of_list uniq) else None
 
 let apply2 op ta tb = match op with
@@ -96,7 +96,7 @@ let enumerate_cuts nl =
           let rest =
             List.tl all
             |> List.stable_sort (fun a b ->
-                   compare (Array.length b.leaves) (Array.length a.leaves))
+                   Int.compare (Array.length b.leaves) (Array.length a.leaves))
           in
           List.hd all :: List.filteri (fun i _ -> i < cuts_per_node - 1) rest
       in
@@ -167,7 +167,7 @@ let convert_with_stats nl =
   let hashed kind fanins =
     let key_fanins =
       match kind with
-      | Netlist.And | Netlist.Or | Netlist.Maj -> List.sort compare fanins
+      | Netlist.And | Netlist.Or | Netlist.Maj -> List.sort Int.compare fanins
       | _ -> fanins
     in
     match Hashtbl.find_opt hash (kind, key_fanins) with
@@ -285,7 +285,7 @@ let convert_naive nl =
   let hashed kind fanins =
     let key =
       match kind with
-      | Netlist.And | Netlist.Or | Netlist.Maj -> (kind, List.sort compare fanins)
+      | Netlist.And | Netlist.Or | Netlist.Maj -> (kind, List.sort Int.compare fanins)
       | _ -> (kind, fanins)
     in
     match Hashtbl.find_opt hash key with

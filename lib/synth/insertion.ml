@@ -180,7 +180,8 @@ let insert_ladder_with_stats input =
           in
           let wanted =
             List.map (fun (c, _) -> (tap_depth c, c)) consumers
-            |> List.sort compare
+            |> List.sort (fun (d1, c1) (d2, c2) ->
+                   match Int.compare d1 d2 with 0 -> Int.compare c1 c2 | c -> c)
           in
           let total = List.length wanted in
           let served = ref 0 in

@@ -13,7 +13,7 @@ let pass nl =
       match kind with
       | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor | Netlist.Xor
       | Netlist.Xnor ->
-          (kind, List.sort compare fanins)
+          (kind, List.sort Int.compare fanins)
       | _ -> (kind, fanins)
     in
     match Hashtbl.find_opt hash key with

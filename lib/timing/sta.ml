@@ -53,7 +53,7 @@ let analyze p =
         tns := !tns +. t.slack_ps
       end)
     timings;
-  Array.sort (fun a b -> compare a.slack_ps b.slack_ps) timings;
+  Array.sort (fun a b -> Float.compare a.slack_ps b.slack_ps) timings;
   let worst = Array.to_list (Array.sub timings 0 (min 10 n)) in
   {
     wns_ps = (if n = 0 then 0.0 else !wns);
@@ -147,7 +147,7 @@ let analyze_routed p (routed : Router.result) =
         tns := !tns +. t.slack_ps
       end)
     timings;
-  Array.sort (fun a b -> compare a.slack_ps b.slack_ps) timings;
+  Array.sort (fun a b -> Float.compare a.slack_ps b.slack_ps) timings;
   {
     wns_ps = (if n = 0 then 0.0 else !wns);
     tns_ps = !tns;

@@ -76,19 +76,66 @@ let to_string d =
   | steps ->
       Printf.sprintf "%s [witness: %s]" base (String.concat " -> " steps)
 
+(* Diagnostics now quote arbitrary source lines as witnesses (mlint), so
+   the escaper must keep any byte string valid JSON: well-formed UTF-8
+   passes through, every ill-formed byte is hex-escaped so a truncated
+   or Latin-1 snippet cannot corrupt the JSON-lines stream. *)
+let utf8_len b0 =
+  if b0 < 0x80 then 1
+  else if b0 < 0xc2 then 0 (* continuation or overlong lead *)
+  else if b0 < 0xe0 then 2
+  else if b0 < 0xf0 then 3
+  else if b0 < 0xf5 then 4
+  else 0
+
+let utf8_ok s i len =
+  let cont k = Char.code s.[i + k] land 0xc0 = 0x80 in
+  i + len <= String.length s
+  &&
+  match len with
+  | 1 -> true
+  | 2 -> cont 1
+  | 3 ->
+      let b0 = Char.code s.[i] and b1 = Char.code s.[i + 1] in
+      cont 1 && cont 2
+      && not (b0 = 0xe0 && b1 < 0xa0) (* overlong *)
+      && not (b0 = 0xed && b1 >= 0xa0) (* surrogate *)
+  | 4 ->
+      let b0 = Char.code s.[i] and b1 = Char.code s.[i + 1] in
+      cont 1 && cont 2 && cont 3
+      && not (b0 = 0xf0 && b1 < 0x90) (* overlong *)
+      && not (b0 = 0xf4 && b1 >= 0x90) (* > U+10FFFF *)
+  | _ -> false
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' -> Buffer.add_string buf "\\\""
+    | '\\' -> Buffer.add_string buf "\\\\"
+    | '\n' -> Buffer.add_string buf "\\n"
+    | '\t' -> Buffer.add_string buf "\\t"
+    | '\r' -> Buffer.add_string buf "\\r"
+    | '\b' -> Buffer.add_string buf "\\b"
+    | '\012' -> Buffer.add_string buf "\\f"
+    | c when Char.code c < 0x20 || Char.code c = 0x7f ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+    | c when Char.code c < 0x80 -> Buffer.add_char buf c
+    | c -> (
+        let len = utf8_len (Char.code c) in
+        match len with
+        | 0 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | _ ->
+            if utf8_ok s !i len then begin
+              Buffer.add_string buf (String.sub s !i len);
+              i := !i + len - 1
+            end
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))));
+    incr i
+  done;
   Buffer.contents buf
 
 let loc_json = function

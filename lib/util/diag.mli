@@ -63,4 +63,14 @@ val to_json : t -> string
 (** One JSON object (no trailing newline), suitable for JSON-lines
     output. *)
 
+val json_escape : string -> string
+(** Escape an arbitrary byte string for inclusion inside a JSON string
+    literal: the two-character short escapes for ["\"\\\n\t\r\b\012"],
+    [\u00XX] for remaining control bytes and DEL, well-formed UTF-8
+    passed through verbatim, and every ill-formed byte (bad lead,
+    missing continuation, overlong form, surrogate, > U+10FFFF)
+    escaped individually as [\u00XX]. Total: any input yields a valid
+    JSON string that decodes back to the original bytes (reading each
+    [\u00XX] as one byte). *)
+
 val pp : Format.formatter -> t -> unit

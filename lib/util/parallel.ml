@@ -24,7 +24,7 @@ let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
 
 (* a malformed SF_JOBS falls back to the domain count, but loudly:
    silently ignoring "SF_JOBS=eight" cost real debugging time *)
-let warned_bad_env = ref false
+let warned_bad_env = ref false (* sl-ignore: SL-GLOBAL-01 warn-once latch, never read by stage code *)
 
 let env_jobs () =
   match Sys.getenv_opt "SF_JOBS" with
@@ -43,6 +43,8 @@ let env_jobs () =
           end;
           None)
 
+(* CLI-set job override; results are chunk-count independent.
+   sl-ignore: SL-GLOBAL-01 listed in the determinism-contract table *)
 let requested : int option ref = ref None
 
 let jobs () =
@@ -74,6 +76,8 @@ type hooks = {
   h_reduce_mismatch : label:string -> chunk:int -> unit;
 }
 
+(* dsan instrumentation hooks, installed once at sanitizer arm time.
+   sl-ignore: SL-GLOBAL-01 listed in the determinism-contract table *)
 let hooks : hooks option ref = ref None
 
 let set_hooks h = hooks := h
@@ -105,9 +109,11 @@ type pool = {
    a worker blocking on a sub-batch could deadlock the pool *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* process-wide domain pool; pool identity never reaches stage outputs.
+   sl-ignore: SL-GLOBAL-01 listed in the determinism-contract table *)
 let current : pool option ref = ref None
 
-let current_size = ref 0
+let current_size = ref 0 (* sl-ignore: SL-GLOBAL-01 size of the pool above *)
 
 let shutdown () =
   match !current with
@@ -306,6 +312,9 @@ let parallel_reduce ?(label = "unlabeled") ?chunk ~map ~combine ~init a =
         for ci = 0 to n_chunks - 1 do
           let replay = chunk_part (ci * c) (min n ((ci * c) + c)) in
           let same =
+            (* replay check on arbitrary 'acc values; a functional value
+               raises Invalid_argument and is simply uncheckable here.
+               sl-ignore: SL-CATCH-01 uncheckable values must not fail the run *)
             try Stdlib.compare parts.(ci) replay = 0 with _ -> true
           in
           if not same then h.h_reduce_mismatch ~label ~chunk:ci

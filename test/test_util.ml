@@ -330,6 +330,75 @@ let test_table_formats () =
   check Alcotest.string "fmt_float" "3.1" (Table.fmt_float 3.14159);
   check Alcotest.string "fmt_float dec" "3.142" (Table.fmt_float ~dec:3 3.14159)
 
+(* ---------- Diag JSON escaping ---------- *)
+
+(* inverse of [Diag.json_escape] for the round-trip property: every
+   [\u00XX] escape denotes exactly one raw input byte *)
+let json_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then (
+       match s.[!i + 1] with
+       | '"' -> Buffer.add_char buf '"'; incr i
+       | '\\' -> Buffer.add_char buf '\\'; incr i
+       | 'n' -> Buffer.add_char buf '\n'; incr i
+       | 't' -> Buffer.add_char buf '\t'; incr i
+       | 'r' -> Buffer.add_char buf '\r'; incr i
+       | 'b' -> Buffer.add_char buf '\b'; incr i
+       | 'f' -> Buffer.add_char buf '\012'; incr i
+       | 'u' ->
+           let code = int_of_string ("0x" ^ String.sub s (!i + 2) 4) in
+           Buffer.add_char buf (Char.chr code);
+           i := !i + 5
+       | c -> Buffer.add_char buf c; incr i)
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let test_json_escape_units () =
+  check Alcotest.string "quote" "a\\\"b" (Diag.json_escape "a\"b");
+  check Alcotest.string "backslash" "a\\\\b" (Diag.json_escape "a\\b");
+  check Alcotest.string "newline" "a\\nb" (Diag.json_escape "a\nb");
+  check Alcotest.string "cr" "a\\rb" (Diag.json_escape "a\rb");
+  check Alcotest.string "formfeed" "a\\fb" (Diag.json_escape "a\012b");
+  check Alcotest.string "nul" "\\u0000" (Diag.json_escape "\000");
+  check Alcotest.string "del" "\\u007f" (Diag.json_escape "\127");
+  (* well-formed UTF-8 passes through verbatim *)
+  check Alcotest.string "2-byte utf8" "h\xc3\xa9llo" (Diag.json_escape "h\xc3\xa9llo");
+  check Alcotest.string "4-byte utf8" "\xf0\x9f\x99\x82" (Diag.json_escape "\xf0\x9f\x99\x82");
+  (* ill-formed bytes escape individually *)
+  check Alcotest.string "lone 0xff" "\\u00ff" (Diag.json_escape "\xff");
+  check Alcotest.string "truncated lead" "\\u00c3" (Diag.json_escape "\xc3");
+  check Alcotest.string "bare continuation" "\\u0080" (Diag.json_escape "\x80");
+  check Alcotest.string "overlong" "\\u00c0\\u00af" (Diag.json_escape "\xc0\xaf");
+  check Alcotest.string "surrogate" "\\u00ed\\u00a0\\u0080" (Diag.json_escape "\xed\xa0\x80")
+
+let prop_json_escape_roundtrip =
+  QCheck.Test.make ~name:"json_escape round-trips arbitrary bytes" ~count:1000
+    QCheck.string
+    (fun s -> json_unescape (Diag.json_escape s) = s)
+
+let prop_json_escape_clean =
+  QCheck.Test.make ~name:"json_escape output has no raw control/quote bytes"
+    ~count:1000 QCheck.string (fun s ->
+      let out = Diag.json_escape s in
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+          if Char.code c < 0x20 || Char.code c = 0x7f then ok := false;
+          if c = '"' && (i = 0 || out.[i - 1] <> '\\') then ok := false)
+        out;
+      !ok)
+
+let prop_json_escape_diag_line =
+  QCheck.Test.make ~name:"to_json with arbitrary witness stays one line"
+    ~count:500 QCheck.string (fun s ->
+      let d = Diag.error ~witness:[ s ] ~rule:"TEST-JSON-01" Diag.Global "m" in
+      not (String.contains (Diag.to_json d) '\n'))
+
 let () =
   Alcotest.run "sf_util"
     [
@@ -373,5 +442,12 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity" `Quick test_table_arity;
           Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "diag_json",
+        [
+          Alcotest.test_case "escape units" `Quick test_json_escape_units;
+          QCheck_alcotest.to_alcotest prop_json_escape_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_escape_clean;
+          QCheck_alcotest.to_alcotest prop_json_escape_diag_line;
         ] );
     ]
